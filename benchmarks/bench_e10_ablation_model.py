@@ -1,0 +1,37 @@
+"""E10 — ablation: arbitrary-CRCW winner policy invariance + msp variant."""
+import pytest
+
+from repro.analysis import render_table, run_e10_model_ablation
+from repro.graphs.generators import random_function
+from repro.partition import jaja_ryu_partition, linear_partition, same_partition
+
+
+def test_generate_table_e10(report):
+    rows = run_e10_model_ablation(k=256, length=32, seed=0)
+    report.append(render_table(rows, title="E10 (ablation): CRCW winner policy"))
+    assert all(r["matches_reference"] for r in rows)
+
+
+def test_msp_variant_ablation(report):
+    f, b = random_function(4096, num_labels=3, seed=0)
+    efficient = jaja_ryu_partition(f, b, msp_algorithm="efficient")
+    simple = jaja_ryu_partition(f, b, msp_algorithm="simple")
+    reference = linear_partition(f, b)
+    assert same_partition(efficient.labels, reference.labels)
+    assert same_partition(simple.labels, reference.labels)
+    report.append(render_table(
+        [
+            {"msp_variant": "efficient", "time": efficient.cost.time, "work": efficient.cost.work,
+             "charged_work": efficient.cost.charged_work},
+            {"msp_variant": "simple", "time": simple.cost.time, "work": simple.cost.work,
+             "charged_work": simple.cost.charged_work},
+        ],
+        title="E10b (ablation): m.s.p. variant inside the full pipeline",
+    ))
+
+
+@pytest.mark.benchmark(group="e10-ablation")
+@pytest.mark.parametrize("variant", ["efficient", "simple"])
+def test_bench_msp_variant(benchmark, variant):
+    f, b = random_function(4096, num_labels=3, seed=0)
+    benchmark(lambda: jaja_ryu_partition(f, b, msp_algorithm=variant))

@@ -1,0 +1,36 @@
+"""E1 — "Table 1": total work of every coarsest-partition algorithm.
+
+Paper claim reproduced: the JáJá–Ryu algorithm needs O(n log log n)
+operations versus O(n log n) for the Galley–Iliopoulos style doubling and
+O(n log^2 n) for the Srikant-style CREW algorithm (Introduction, Theorem
+5.1); the sequential Paige–Tarjan–Bonic baseline stays linear.
+"""
+import pytest
+
+from repro.analysis import pivot, render_table, run_e1_work_comparison
+from repro.graphs.generators import random_function
+from repro.partition import jaja_ryu_partition
+
+SWEEP = (256, 1024, 4096, 16384)
+
+
+def test_generate_table_e1(report):
+    rows = run_e1_work_comparison(SWEEP, workload="mixed", seed=0)
+    wide = pivot(rows, "n", "algorithm", "charged_work")
+    report.append(render_table(rows, columns=[
+        "algorithm", "n", "time", "work", "charged_work",
+        "work/(n lg lg n)", "work/(n lg n)", "charged/(n lg lg n)"],
+        title="E1 (Table 1): work comparison, workload=mixed"))
+    report.append(render_table(wide, title="E1 pivot: charged work by algorithm"))
+    # acceptance: ours/galley work ratio shrinks across the sweep
+    ours = {r["n"]: r["charged_work"] for r in rows if r["algorithm"] == "jaja-ryu"}
+    galley = {r["n"]: r["work"] for r in rows if r["algorithm"] == "galley-iliopoulos"}
+    assert ours[SWEEP[-1]] / galley[SWEEP[-1]] <= ours[SWEEP[0]] / galley[SWEEP[0]]
+
+
+@pytest.mark.benchmark(group="e1-partition")
+@pytest.mark.parametrize("n", [4096])
+def test_bench_jaja_ryu_mixed(benchmark, n):
+    f, b = random_function(n, num_labels=3, seed=0)
+    result = benchmark(lambda: jaja_ryu_partition(f, b))
+    assert result.num_blocks > 0

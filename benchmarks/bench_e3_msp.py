@@ -1,0 +1,37 @@
+"""E3 — "Table 2": minimal starting point algorithms (Lemma 3.7).
+
+Paper claim reproduced: efficient m.s.p. does O(n log log n) work vs the
+simple tournament's O(n log n), both in O(log n) rounds; the sequential
+Booth baseline is linear.
+"""
+import pytest
+
+from repro.analysis import render_table, run_e3_msp
+from repro.analysis.workloads import circular_string_workloads
+from repro.strings import efficient_msp, simple_msp
+
+SWEEP = (512, 2048, 8192)
+
+
+def test_generate_table_e3(report):
+    all_rows = []
+    for family in ("random_small_alphabet", "binary", "min_runs"):
+        all_rows.extend(run_e3_msp(SWEEP, string_family=family, seed=0))
+    report.append(render_table(all_rows, columns=[
+        "algorithm", "family", "n", "time", "work", "charged_work",
+        "work/(n lg lg n)", "work/(n lg n)"],
+        title="E3 (Table 2): minimal starting point"))
+    eff = [r for r in all_rows if r["algorithm"] == "efficient-msp" and r["family"] == "binary"]
+    simple = [r for r in all_rows if r["algorithm"] == "simple-msp" and r["family"] == "binary"]
+    ratio_first = eff[0]["charged_work"] / simple[0]["work"]
+    ratio_last = eff[-1]["charged_work"] / simple[-1]["work"]
+    assert ratio_last <= ratio_first
+
+
+@pytest.mark.benchmark(group="e3-msp")
+@pytest.mark.parametrize("algo", ["efficient", "simple"])
+def test_bench_msp(benchmark, algo):
+    s = circular_string_workloads(8192, 0)["random_small_alphabet"]
+    fn = efficient_msp if algo == "efficient" else simple_msp
+    result = benchmark(lambda: fn(s))
+    assert result.index >= 0

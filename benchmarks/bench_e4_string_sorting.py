@@ -1,0 +1,30 @@
+"""E4 — "Table 3": sorting variable-length strings (Lemma 3.8)."""
+import pytest
+
+from repro.analysis import render_table, run_e4_string_sorting
+from repro.analysis.workloads import string_list_workloads
+from repro.strings import sort_strings
+
+SWEEP = (512, 2048, 8192)
+
+
+def test_generate_table_e4(report):
+    all_rows = []
+    for family in ("uniform_short", "skewed"):
+        all_rows.extend(run_e4_string_sorting(SWEEP, family=family, seed=0))
+    report.append(render_table(all_rows, columns=[
+        "algorithm", "family", "n", "num_strings", "time", "work", "charged_work",
+        "work/(n lg lg n)", "work/(n lg n)"],
+        title="E4 (Table 3): string sorting"))
+    # acceptance: on the skewed family the paper's algorithm does less work
+    # than the doubling variant that never retires unit strings
+    ours = [r for r in all_rows if r["algorithm"] == "jaja-ryu-sort" and r["family"] == "skewed"]
+    doubling = [r for r in all_rows if r["algorithm"] == "doubling-sort" and r["family"] == "skewed"]
+    assert ours[-1]["work"] < doubling[-1]["work"]
+
+
+@pytest.mark.benchmark(group="e4-string-sort")
+def test_bench_sort_strings(benchmark):
+    strings = string_list_workloads(4096, 0)["uniform_short"]
+    result = benchmark(lambda: sort_strings(strings))
+    assert len(result.order) == len(strings)

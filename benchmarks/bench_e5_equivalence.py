@@ -1,0 +1,29 @@
+"""E5 — "Table 4": partitioning cycles into equivalence classes (Lemma 3.11)."""
+import numpy as np
+import pytest
+
+from repro.analysis import render_table, run_e5_equivalence
+from repro.partition import partition_cycles
+
+
+def test_generate_table_e5(report):
+    rows = run_e5_equivalence((4, 16, 64, 256), length=32, seed=0)
+    report.append(render_table(rows, columns=[
+        "algorithm", "k", "n", "classes", "time", "work", "work/n"],
+        title="E5 (Table 4): cycle equivalence classes"))
+    bb = [r for r in rows if r["algorithm"] == "bb-doubling"]
+    ap = [r for r in rows if r["algorithm"] == "all-pairs"]
+    # BB-table work stays Θ(n); all-pairs grows ~quadratically in k
+    assert bb[-1]["work"] / bb[-1]["n"] <= 4 * bb[0]["work"] / bb[0]["n"]
+    assert ap[-1]["work"] / ap[0]["work"] > 4 * (ap[-1]["n"] / ap[0]["n"])
+
+
+@pytest.mark.benchmark(group="e5-equivalence")
+def test_bench_partition_cycles(benchmark):
+    rng = np.random.default_rng(0)
+    k, length = 256, 32
+    patterns = rng.integers(0, 3, (4, length)).astype(np.int64)
+    flat = np.concatenate([patterns[int(c)] for c in rng.integers(0, 4, k)])
+    offsets = np.arange(0, (k + 1) * length, length, dtype=np.int64)
+    result = benchmark(lambda: partition_cycles(flat, offsets))
+    assert result.num_classes <= 4

@@ -1,0 +1,25 @@
+"""E8 — "Table 5": agreement of every algorithm with the sequential oracle."""
+import pytest
+
+from repro.analysis import render_table, run_e8_agreement
+from repro.graphs.generators import random_function
+from repro.partition import jaja_ryu_partition, linear_partition, same_partition
+
+
+def test_generate_table_e8(report):
+    rows = run_e8_agreement(trials=30, max_n=200, seed=0)
+    report.append(render_table(rows, title="E8 (Table 5): agreement fuzzing"))
+    assert rows[0]["agreement_rate"] == 1.0
+
+
+@pytest.mark.benchmark(group="e8-agreement")
+def test_bench_agreement_pair(benchmark):
+    f, b = random_function(2048, num_labels=3, seed=1)
+
+    def run():
+        a = jaja_ryu_partition(f, b)
+        c = linear_partition(f, b)
+        assert same_partition(a.labels, c.labels)
+        return a
+
+    benchmark(run)

@@ -1,0 +1,23 @@
+"""E9 — ablation: charged vs incurred cost and where the work goes."""
+import pytest
+
+from repro.analysis import render_table, run_e9_sort_ablation
+from repro.graphs.generators import random_function
+from repro.partition import jaja_ryu_partition
+from repro.primitives import SortCostModel
+
+
+def test_generate_table_e9(report):
+    rows = run_e9_sort_ablation((1024, 4096, 16384), workload="mixed", seed=0)
+    report.append(render_table(rows, title="E9 (ablation): integer-sort cost model"))
+    charged = [r for r in rows if r["cost_model"] == "charged"]
+    # charged work per element grows very slowly (log log n regime)
+    per_n = [r["charged/n"] for r in charged]
+    assert max(per_n) <= 2.5 * min(per_n)
+
+
+@pytest.mark.benchmark(group="e9-ablation")
+@pytest.mark.parametrize("model", [SortCostModel.CHARGED, SortCostModel.INCURRED])
+def test_bench_cost_models(benchmark, model):
+    f, b = random_function(4096, num_labels=3, seed=0)
+    benchmark(lambda: jaja_ryu_partition(f, b, cost_model=model))

@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Every file ``bench_eX_*.py`` regenerates one table or figure of the
+evaluation plan (DESIGN.md §4) and times one representative configuration
+with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The printed tables are the ones recorded in EXPERIMENTS.md.
+"""
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # benchmarks are ordered by experiment id for readable output
+    items.sort(key=lambda item: item.nodeid)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collector that prints regenerated tables at the end of the session."""
+    lines = []
+    yield lines
+    if lines:
+        print("\n" + "\n\n".join(lines))

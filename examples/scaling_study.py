@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Example: regenerate the headline scaling comparison (E1/E2) at the console.
+
+Sweeps input sizes, runs the paper's algorithm and the baselines, and prints
+work/time tables together with the bound-ratio columns that make the
+O(n log log n) vs O(n log n) separation visible.
+
+Run with:  python examples/scaling_study.py  [max_exponent]
+"""
+import sys
+
+from repro.analysis import (
+    pivot,
+    render_series,
+    render_table,
+    run_e1_work_comparison,
+    run_e2_time_scaling,
+)
+
+
+def main() -> None:
+    max_exp = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    sizes = tuple(2 ** k for k in range(9, max_exp + 1))
+    print(f"size sweep: {sizes}\n")
+
+    rows = run_e1_work_comparison(sizes, workload="mixed", seed=0)
+    print(render_table(
+        rows,
+        columns=["algorithm", "n", "time", "work", "charged_work",
+                 "work/(n lg lg n)", "work/(n lg n)", "charged/(n lg lg n)"],
+        title="E1: work comparison (workload = mixed random function)",
+    ))
+    print()
+    print(render_table(pivot(rows, "n", "algorithm", "charged_work"),
+                       title="charged work by algorithm"))
+    print()
+
+    time_rows = run_e2_time_scaling(sizes, workload="mixed", seed=0)
+    ours = [r for r in time_rows if r["algorithm"] == "jaja-ryu"]
+    print(render_series([r["n"] for r in ours], [r["time"] for r in ours],
+                        label="E2: jaja-ryu parallel rounds vs n"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so that offline editable installs work without the
+PEP 517 build-isolation path (which would need network access to fetch
+build dependencies).  All real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""repro — reproduction of JáJá & Ryu, *An Efficient Parallel Algorithm for
+the Single Function Coarsest Partition Problem* (SPAA 1993 / TCS 129, 1994).
+
+The package implements the paper's O(log n)-time, O(n log log n)-work
+arbitrary-CRCW algorithm on a PRAM cost-model simulator, together with all
+the substrates it relies on (prefix sums, list ranking, Euler tours,
+integer sorting, circular-string canonisation, string sorting), every prior
+sequential and parallel algorithm it compares against, and an experiment
+harness that regenerates the evaluation described in DESIGN.md.
+
+Quickstart
+----------
+
+>>> from repro import coarsest_partition
+>>> import numpy as np
+>>> f = np.array([1, 2, 0, 0, 3])          # the function (one edge per node)
+>>> b = np.array([0, 1, 0, 0, 1])          # initial block labels
+>>> result = coarsest_partition(f, b)      # paper's parallel algorithm
+>>> result.num_blocks
+5
+
+Top-level re-exports cover the most common entry points; the subpackages
+(`repro.pram`, `repro.primitives`, `repro.strings`, `repro.partition`,
+`repro.graphs`, `repro.analysis`) expose the full API.
+"""
+
+from .errors import (
+    BudgetExceededError,
+    InvalidInstanceError,
+    InvalidStringError,
+    MemoryConflictError,
+    ModelError,
+    ReproError,
+)
+from .types import (
+    CostSummary,
+    CycleStructure,
+    EquivalenceResult,
+    MSPResult,
+    PartitionResult,
+    StringSortResult,
+)
+from .pram import Machine, ArbitraryWinner, arbitrary_crcw, common_crcw, crew, erew
+from .partition import (
+    SFCPInstance,
+    canonical_labels,
+    coarsest_partition,
+    galley_iliopoulos_partition,
+    hopcroft_partition,
+    jaja_ryu_partition,
+    linear_partition,
+    naive_partition,
+    same_partition,
+    srikant_partition,
+)
+from .strings import (
+    canonical_rotation,
+    efficient_msp,
+    simple_msp,
+    sort_strings,
+)
+from .graphs import (
+    aggregate_states,
+    analyze_structure,
+    minimize_unary_dfa,
+    random_function,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidStringError",
+    "ModelError",
+    "MemoryConflictError",
+    "BudgetExceededError",
+    "PartitionResult",
+    "MSPResult",
+    "StringSortResult",
+    "EquivalenceResult",
+    "CostSummary",
+    "CycleStructure",
+    "Machine",
+    "ArbitraryWinner",
+    "erew",
+    "crew",
+    "common_crcw",
+    "arbitrary_crcw",
+    "SFCPInstance",
+    "coarsest_partition",
+    "jaja_ryu_partition",
+    "galley_iliopoulos_partition",
+    "srikant_partition",
+    "linear_partition",
+    "hopcroft_partition",
+    "naive_partition",
+    "canonical_labels",
+    "same_partition",
+    "efficient_msp",
+    "simple_msp",
+    "canonical_rotation",
+    "sort_strings",
+    "analyze_structure",
+    "random_function",
+    "minimize_unary_dfa",
+    "aggregate_states",
+]

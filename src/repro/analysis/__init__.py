@@ -1,0 +1,67 @@
+"""Experiment harness support: growth-rate fitting, table rendering, named
+workloads, and the experiment runners behind the benchmarks."""
+
+from .complexity import (
+    BOUNDS,
+    GrowthFit,
+    best_matching_bound,
+    bound_ratio_series,
+    fit_growth,
+    loglog_slope,
+    ratio_is_bounded,
+)
+from .tables import pivot, render_csv, render_series, render_table
+from .workloads import (
+    DEFAULT_SWEEP,
+    SMALL_SWEEP,
+    WORKLOADS,
+    Workload,
+    circular_string_workloads,
+    get_workload,
+    string_list_workloads,
+)
+from .experiments import (
+    PARTITION_ALGORITHMS,
+    run_e1_work_comparison,
+    run_e2_time_scaling,
+    run_e3_msp,
+    run_e4_string_sorting,
+    run_e5_equivalence,
+    run_e6_shrink,
+    run_e7_speedup,
+    run_e8_agreement,
+    run_e9_sort_ablation,
+    run_e10_model_ablation,
+)
+
+__all__ = [
+    "BOUNDS",
+    "GrowthFit",
+    "bound_ratio_series",
+    "fit_growth",
+    "best_matching_bound",
+    "loglog_slope",
+    "ratio_is_bounded",
+    "render_table",
+    "render_csv",
+    "render_series",
+    "pivot",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+    "DEFAULT_SWEEP",
+    "SMALL_SWEEP",
+    "circular_string_workloads",
+    "string_list_workloads",
+    "PARTITION_ALGORITHMS",
+    "run_e1_work_comparison",
+    "run_e2_time_scaling",
+    "run_e3_msp",
+    "run_e4_string_sorting",
+    "run_e5_equivalence",
+    "run_e6_shrink",
+    "run_e7_speedup",
+    "run_e8_agreement",
+    "run_e9_sort_ablation",
+    "run_e10_model_ablation",
+]

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can distinguish library failures from programming errors in their
+own code with a single ``except`` clause.
+
+The PRAM simulator raises :class:`MemoryConflictError` subclasses when an
+algorithm performs a memory access pattern that is illegal under the
+selected PRAM model (e.g. two processors writing the same cell on an EREW
+machine).  These checks are what turn the simulator into an *auditor* of
+the paper's model assumptions rather than a mere counter.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An SFCP instance (function array / label array) is malformed.
+
+    Raised when the function array contains out-of-range images, when the
+    label array length does not match the function array, or when either
+    array is empty where a non-empty instance is required.
+    """
+
+
+class InvalidStringError(ReproError, ValueError):
+    """A (circular) string input is malformed (empty, negative symbols...)."""
+
+
+class ModelError(ReproError):
+    """Base class for violations of the selected PRAM model."""
+
+
+class MemoryConflictError(ModelError):
+    """A memory access pattern is illegal under the active PRAM model."""
+
+    def __init__(self, message: str, *, addresses=None):
+        super().__init__(message)
+        #: The offending shared-memory addresses (possibly truncated), for
+        #: diagnostics.  ``None`` when not available.
+        self.addresses = addresses
+
+
+class ConcurrentReadError(MemoryConflictError):
+    """Two or more processors read the same cell on an EREW machine."""
+
+
+class ConcurrentWriteError(MemoryConflictError):
+    """Two or more processors wrote the same cell on an EREW/CREW machine."""
+
+
+class CommonWriteValueError(MemoryConflictError):
+    """Concurrent writers disagreed on the value under the common-CRCW model."""
+
+
+class BudgetExceededError(ReproError):
+    """An algorithm exceeded an explicit work or time budget.
+
+    Budgets are optional and used by tests to assert asymptotic behaviour
+    ("this call must not take more than ``c * n log log n`` operations").
+    """
+
+    def __init__(self, message: str, *, work=None, time=None):
+        super().__init__(message)
+        self.work = work
+        self.time = time
+
+
+class SchedulingError(ReproError):
+    """Invalid processor count or scheduling parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment/benchmark harness was configured inconsistently."""

@@ -1,0 +1,50 @@
+"""Functional-graph substrate: structure analysis, synthetic workload
+generators, and the application layers (unary DFA minimisation, state
+aggregation) built on the coarsest partition."""
+
+from .dfa import MinimalDFA, accepts, language_signature, minimize_unary_dfa
+from .functional_graph import (
+    analyze_structure,
+    cycle_members,
+    image_closure,
+    iterate,
+    tree_sizes,
+    validate_function,
+)
+from .generators import (
+    GENERATORS,
+    cycles_of_equal_length,
+    dfa_instance,
+    label_function_composition,
+    periodic_labeled_cycle,
+    random_function,
+    random_permutation,
+    single_cycle,
+    tree_heavy,
+)
+from .markov import AggregatedSystem, aggregate_states, observation_trace
+
+__all__ = [
+    "validate_function",
+    "analyze_structure",
+    "cycle_members",
+    "tree_sizes",
+    "iterate",
+    "image_closure",
+    "GENERATORS",
+    "random_function",
+    "random_permutation",
+    "single_cycle",
+    "cycles_of_equal_length",
+    "periodic_labeled_cycle",
+    "tree_heavy",
+    "label_function_composition",
+    "dfa_instance",
+    "MinimalDFA",
+    "minimize_unary_dfa",
+    "accepts",
+    "language_signature",
+    "AggregatedSystem",
+    "aggregate_states",
+    "observation_trace",
+]

@@ -1,0 +1,144 @@
+"""Functional-graph (pseudo-forest) structure analysis.
+
+A total function ``f`` on ``{0..n-1}`` induces a directed graph with one
+outgoing edge per node; every weakly-connected component ("pseudo-tree")
+contains exactly one cycle with trees hanging off the cycle nodes.  The
+paper's algorithms constantly need structural facts about this graph —
+which nodes lie on a cycle, the cycle each node drains into, its entry
+point, and its depth above the cycle.
+
+This module provides a *sequential* structural analysis
+(:func:`analyze_structure`) used by generators, validators, tests and the
+sequential baselines; the PRAM-cost-faithful parallel equivalents live in
+:mod:`repro.partition.cycle_detection` and
+:mod:`repro.partition.tree_labeling`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import InvalidInstanceError
+from ..types import CycleStructure, as_int_array
+
+
+def validate_function(function, *, name: str = "function") -> np.ndarray:
+    """Validate a function array ``A_f`` (every image within ``[0, n)``)."""
+    f = as_int_array(function, name)
+    n = len(f)
+    if n == 0:
+        raise InvalidInstanceError(f"{name} must be non-empty")
+    if f.min() < 0 or f.max() >= n:
+        raise InvalidInstanceError(
+            f"{name} must map into [0, {n}); found values in [{f.min()}, {f.max()}]"
+        )
+    return f
+
+
+def analyze_structure(function) -> CycleStructure:
+    """Full structural decomposition of the functional graph (sequential).
+
+    Runs in O(n) time.  Cycle ids are assigned in order of discovery of the
+    cycle's minimum node; ``cycle_rank`` starts at 0 on the cycle's
+    minimum-index node and follows ``f``.
+    """
+    f = validate_function(function)
+    n = len(f)
+    color = np.zeros(n, dtype=np.int8)  # 0 = unvisited, 1 = in progress, 2 = done
+    on_cycle = np.zeros(n, dtype=bool)
+    cycle_id = np.full(n, -1, dtype=np.int64)
+    cycle_rank = np.full(n, -1, dtype=np.int64)
+    root = np.full(n, -1, dtype=np.int64)
+    depth = np.zeros(n, dtype=np.int64)
+    cycle_lengths = []
+
+    order_stack: list = []
+    for start in range(n):
+        if color[start] != 0:
+            continue
+        # walk until we meet a visited node, recording the path
+        path = []
+        x = start
+        while color[x] == 0:
+            color[x] = 1
+            path.append(x)
+            x = int(f[x])
+        if color[x] == 1:
+            # found a new cycle: x is on it, the cycle is the tail of `path`
+            pos = path.index(x)
+            cycle_nodes = path[pos:]
+            # normalise: start the cycle at its minimum node
+            k = len(cycle_nodes)
+            min_pos = int(np.argmin(cycle_nodes))
+            ordered = cycle_nodes[min_pos:] + cycle_nodes[:min_pos]
+            cid = len(cycle_lengths)
+            cycle_lengths.append(k)
+            for r, node in enumerate(ordered):
+                on_cycle[node] = True
+                cycle_id[node] = cid
+                cycle_rank[node] = r
+                root[node] = node
+                depth[node] = 0
+                color[node] = 2
+            # the prefix of `path` before the cycle is a tree path into it
+            tree_prefix = path[:pos]
+        else:
+            tree_prefix = path
+        # resolve the tree prefix back-to-front (its suffix attaches to a
+        # resolved node)
+        for node in reversed(tree_prefix):
+            parent = int(f[node])
+            depth[node] = depth[parent] + 1
+            root[node] = root[parent]
+            color[node] = 2
+
+    return CycleStructure(
+        on_cycle=on_cycle,
+        cycle_id=cycle_id,
+        cycle_rank=cycle_rank,
+        cycle_lengths=np.asarray(cycle_lengths, dtype=np.int64),
+        root=root,
+        depth=depth,
+    )
+
+
+def cycle_members(structure: CycleStructure, cycle: int) -> np.ndarray:
+    """Nodes of cycle ``cycle`` in cycle order (rank 0 first)."""
+    mask = structure.cycle_id == cycle
+    members = np.flatnonzero(mask)
+    order = np.argsort(structure.cycle_rank[members], kind="stable")
+    return members[order]
+
+
+def tree_sizes(function, structure: Optional[CycleStructure] = None) -> np.ndarray:
+    """Number of tree (non-cycle) descendants draining into each cycle node.
+
+    Useful for workload characterisation: a purely cyclic instance has all
+    zeros, a "heavy tail" instance concentrates mass on few entry points.
+    """
+    f = validate_function(function)
+    s = structure if structure is not None else analyze_structure(f)
+    counts = np.zeros(len(f), dtype=np.int64)
+    np.add.at(counts, s.root[~s.on_cycle], 1)
+    return counts
+
+
+def iterate(function, x: int, steps: int) -> int:
+    """Compute ``f^steps(x)`` sequentially (test helper)."""
+    f = validate_function(function)
+    y = int(x)
+    for _ in range(int(steps)):
+        y = int(f[y])
+    return y
+
+
+def image_closure(function) -> np.ndarray:
+    """Nodes reachable as ``f^n(x)`` for some x — exactly the cycle nodes.
+
+    Sequential reference used to cross-check the parallel cycle detection.
+    """
+    f = validate_function(function)
+    s = analyze_structure(f)
+    return np.flatnonzero(s.on_cycle)

@@ -1,0 +1,82 @@
+"""Lumping of deterministic chains / state aggregation via SFCP.
+
+A second application flavour mentioned across the coarsest-partition
+literature: aggregating the states of a deterministic transition system so
+that observationally equivalent states (same observation now and after
+every number of steps) collapse.  For a *deterministic* system the
+aggregation is exactly the single function coarsest partition with the
+observation as the initial partition.
+
+This module provides a thin semantic layer over
+:func:`repro.partition.coarsest_partition` plus the checks used by the
+``state_aggregation`` example and its tests: the aggregated system must be
+deterministic, observation-preserving, and must reproduce the original
+observation traces from every state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import InvalidInstanceError
+from ..pram.machine import Machine
+from ..types import PartitionResult, as_int_array
+from .functional_graph import validate_function
+
+
+@dataclass
+class AggregatedSystem:
+    """Result of aggregating a deterministic observed transition system."""
+
+    state_class: np.ndarray
+    transition: np.ndarray
+    observation: np.ndarray
+    partition: PartitionResult
+
+    @property
+    def num_states(self) -> int:
+        return int(len(self.transition))
+
+
+def aggregate_states(
+    transition,
+    observation,
+    *,
+    algorithm: str = "jaja-ryu",
+    machine: Optional[Machine] = None,
+) -> AggregatedSystem:
+    """Aggregate observationally-equivalent states of a deterministic system."""
+    f = validate_function(transition, name="transition")
+    obs = as_int_array(observation, "observation")
+    if len(obs) != len(f):
+        raise InvalidInstanceError("observation must have one entry per state")
+    from ..partition.parallel import coarsest_partition  # lazy: avoids a package import cycle
+
+    result = coarsest_partition(f, obs, algorithm=algorithm, machine=machine)
+    classes = result.labels
+    k = result.num_blocks
+    new_transition = np.zeros(k, dtype=np.int64)
+    new_observation = np.zeros(k, dtype=np.int64)
+    new_transition[classes] = classes[f]
+    new_observation[classes] = obs
+    return AggregatedSystem(
+        state_class=classes,
+        transition=new_transition,
+        observation=new_observation,
+        partition=result,
+    )
+
+
+def observation_trace(transition, observation, state: int, length: int) -> np.ndarray:
+    """Observation sequence produced from ``state`` over ``length`` steps."""
+    f = validate_function(transition, name="transition")
+    obs = as_int_array(observation, "observation")
+    out = np.zeros(length, dtype=np.int64)
+    q = int(state)
+    for i in range(length):
+        out[i] = int(obs[q])
+        q = int(f[q])
+    return out

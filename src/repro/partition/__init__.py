@@ -1,0 +1,80 @@
+"""The single function coarsest partition problem: the paper's algorithm,
+its phases, and all sequential/parallel baselines.
+
+Entry points
+------------
+
+* :func:`jaja_ryu_partition` — the paper's O(log n)-time,
+  O(n log log n)-work arbitrary-CRCW algorithm (Theorem 5.1).
+* :func:`coarsest_partition` — dispatcher over every implemented algorithm.
+* Sequential baselines: :func:`linear_partition` (Paige–Tarjan–Bonic),
+  :func:`hopcroft_partition` (Aho–Hopcroft–Ullman), :func:`naive_partition`.
+* Parallel baselines: :func:`galley_iliopoulos_partition`,
+  :func:`srikant_partition`, :func:`naive_parallel_partition`.
+* Phases, usable on their own: :func:`find_cycle_nodes`,
+  :func:`label_cycle_nodes`, :func:`label_tree_nodes`,
+  :func:`partition_cycles` (cyclic-shift equivalence classes).
+* Problem utilities: :class:`SFCPInstance`, :func:`canonical_labels`,
+  :func:`same_partition`, :func:`is_stable`, :func:`refines`.
+"""
+
+from .baseline_parallel import (
+    galley_iliopoulos_partition,
+    naive_parallel_partition,
+    srikant_partition,
+)
+from .cycle_detection import CycleDetectionResult, find_cycle_nodes, find_cycle_nodes_doubling
+from .cycle_labeling import CycleLabelingResult, label_cycle_nodes
+from .equivalence import (
+    partition_cycles,
+    partition_cycles_all_pairs,
+    partition_cycles_sorting,
+)
+from .parallel import coarsest_partition, jaja_ryu_partition
+from .problem import (
+    SFCPInstance,
+    brute_force_coarsest,
+    canonical_labels,
+    is_stable,
+    is_valid_solution,
+    num_blocks,
+    paper_example_2_2,
+    paper_example_2_2_expected_labels,
+    refines,
+    same_partition,
+)
+from .sequential_hopcroft import hopcroft_partition
+from .sequential_linear import linear_partition
+from .sequential_naive import naive_partition
+from .tree_labeling import TreeLabelingResult, label_tree_nodes
+
+__all__ = [
+    "SFCPInstance",
+    "canonical_labels",
+    "same_partition",
+    "num_blocks",
+    "refines",
+    "is_stable",
+    "is_valid_solution",
+    "brute_force_coarsest",
+    "paper_example_2_2",
+    "paper_example_2_2_expected_labels",
+    "naive_partition",
+    "hopcroft_partition",
+    "linear_partition",
+    "find_cycle_nodes",
+    "find_cycle_nodes_doubling",
+    "CycleDetectionResult",
+    "label_cycle_nodes",
+    "CycleLabelingResult",
+    "label_tree_nodes",
+    "TreeLabelingResult",
+    "partition_cycles",
+    "partition_cycles_all_pairs",
+    "partition_cycles_sorting",
+    "jaja_ryu_partition",
+    "coarsest_partition",
+    "galley_iliopoulos_partition",
+    "srikant_partition",
+    "naive_parallel_partition",
+]

@@ -1,0 +1,157 @@
+"""Parallel baselines the paper's introduction compares against.
+
+Three prior parallel approaches are reproduced so that experiment E1/E2
+can measure "who wins and by how much" rather than restating the
+asymptotic table:
+
+* :func:`galley_iliopoulos_partition` — the O(log n)-time O(n log n)-work
+  arbitrary-CRCW algorithm attributed to Galley & Iliopoulos [10]: global
+  label doubling.  Round ``t`` refines the labels so that two nodes share a
+  label iff their forward B-label sequences of length ``2^t`` agree; the
+  per-round re-ranking uses the BB-table concurrent-write trick, so each
+  round costs O(1) time and O(n) work and ``ceil(log2 n) + 1`` rounds
+  suffice by Lemma 2.1(ii).
+
+* :func:`srikant_partition` — the O(log² n)-time O(n log² n)-work CREW
+  algorithm of Srikant [18], reproduced as the same doubling but with the
+  per-round re-ranking done by a comparison (merge) sort — legal on the
+  CREW PRAM, where the constant-time concurrent-write encoding is not
+  available — which costs O(log n) time per round.
+
+* :func:`naive_parallel_partition` — the brute-force O(log n)-round
+  refinement in which every round compares all pairs of elements
+  (O(n²) work per round); it reproduces the flavour of the Cho–Huynh
+  CREW/EREW bounds [7] at small scale (it is only run on small inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..pram.machine import Machine
+from ..primitives.merge import merge_sort
+from ..types import PartitionResult
+from .problem import SFCPInstance, canonical_labels, num_blocks
+
+
+def _ensure_machine(machine: Optional[Machine]) -> Machine:
+    return machine if machine is not None else Machine.default()
+
+
+def galley_iliopoulos_partition(
+    function,
+    initial_labels,
+    *,
+    machine: Optional[Machine] = None,
+) -> PartitionResult:
+    """Label doubling with BB-table re-ranking: O(log n) time, O(n log n) work."""
+    instance = SFCPInstance.from_arrays(function, initial_labels)
+    m = _ensure_machine(machine)
+    f = instance.function
+    n = instance.n
+    with m.span("galley_iliopoulos"):
+        m.tick(n)
+        labels = canonical_labels(instance.initial_labels)
+        ptr = f.copy()
+        table = m.sparse_table("BB-doubling")
+        address_base = int(labels.max()) + 1
+        rounds = int(np.ceil(np.log2(max(2, n)))) + 1
+        idx = np.arange(n, dtype=np.int64)
+        for _ in range(rounds):
+            # pair (own code, code at 2^t ahead) -> new code via concurrent write
+            m.concurrent_write_pairs(table, labels, labels[ptr], address_base + idx)
+            labels = m.concurrent_read_pairs(table, labels, labels[ptr])
+            m.tick(n)
+            ptr = ptr[ptr]
+            address_base += n
+        m.tick(n)
+        labels = canonical_labels(labels)
+    return PartitionResult(
+        labels=labels,
+        num_blocks=num_blocks(labels),
+        algorithm="galley-iliopoulos",
+        cost=m.counter.summary(),
+    )
+
+
+def srikant_partition(
+    function,
+    initial_labels,
+    *,
+    machine: Optional[Machine] = None,
+) -> PartitionResult:
+    """Label doubling with comparison-sort re-ranking: O(log² n) time.
+
+    Each round sorts the pairs ``(label[x], label[f^{2^t}(x)])`` with a
+    Cole-style mergesort (O(log n) time, O(n log n) work per round — the
+    CREW-legal way to densify codes) and replaces each pair by its rank.
+    """
+    instance = SFCPInstance.from_arrays(function, initial_labels)
+    m = _ensure_machine(machine)
+    f = instance.function
+    n = instance.n
+    with m.span("srikant"):
+        m.tick(n)
+        labels = canonical_labels(instance.initial_labels)
+        ptr = f.copy()
+        rounds = int(np.ceil(np.log2(max(2, n)))) + 1
+        for _ in range(rounds):
+            combined = labels * np.int64(n + 1) + labels[ptr]
+            # CREW re-ranking: sort the combined keys, then neighbour-compare
+            # to assign dense ranks (charged at the mergesort bound).
+            merge_sort(combined, machine=m)
+            m.tick(2 * n, rounds=2)
+            labels = canonical_labels(combined)
+            ptr = ptr[ptr]
+        m.tick(n)
+        labels = canonical_labels(labels)
+    return PartitionResult(
+        labels=labels,
+        num_blocks=num_blocks(labels),
+        algorithm="srikant",
+        cost=m.counter.summary(),
+    )
+
+
+def naive_parallel_partition(
+    function,
+    initial_labels,
+    *,
+    machine: Optional[Machine] = None,
+    max_n: int = 2048,
+) -> PartitionResult:
+    """All-pairs refinement: O(log n) rounds of O(n²) work each.
+
+    Refuses inputs larger than ``max_n`` (the quadratic work makes larger
+    runs pointless; the baseline exists to anchor the low end of E1).
+    """
+    instance = SFCPInstance.from_arrays(function, initial_labels)
+    if instance.n > max_n:
+        raise ValueError(
+            f"naive_parallel_partition is limited to n <= {max_n} (quadratic work)"
+        )
+    m = _ensure_machine(machine)
+    f = instance.function
+    n = instance.n
+    with m.span("naive_parallel"):
+        m.tick(n)
+        labels = canonical_labels(instance.initial_labels)
+        ptr = f.copy()
+        rounds = int(np.ceil(np.log2(max(2, n)))) + 1
+        for _ in range(rounds):
+            # every pair of elements is compared on its (label, label-ahead)
+            # signature in O(1) time using n^2 processors
+            m.tick(n * n, rounds=2)
+            combined = labels * np.int64(n + 1) + labels[ptr]
+            labels = canonical_labels(combined)
+            ptr = ptr[ptr]
+        m.tick(n)
+        labels = canonical_labels(labels)
+    return PartitionResult(
+        labels=labels,
+        num_blocks=num_blocks(labels),
+        algorithm="naive-parallel",
+        cost=m.counter.summary(),
+    )

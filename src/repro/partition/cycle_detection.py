@@ -1,0 +1,109 @@
+"""*Algorithm finding cycle nodes* (Section 5) and a doubling baseline.
+
+The paper identifies the cycle nodes of the pseudo-forest with the Euler
+tour technique on the *doubled* graph: every functional edge ``(x, f(x))``
+gets a buddy ``(f(x), x)``; the Tarjan–Vishkin successor function then
+produces exactly two Euler circuits per pseudo-tree, and an edge lies on
+the cycle of its pseudo-tree iff its two directed copies fall in
+*different* circuits (tree edges, being bridges, keep both copies in the
+same circuit).
+
+:func:`find_cycle_nodes` implements exactly that.  As a structural bonus,
+the circuit id of the forward arc ``(x, f(x))`` of a cycle node ``x``
+identifies ``x``'s cycle (all forward arcs of one cycle trace the same
+circuit), which the cycle-labelling phase reuses.
+
+:func:`find_cycle_nodes_doubling` is the simpler pointer-doubling baseline
+(compute ``f^n`` by repeated squaring; its image is the set of cycle
+nodes): same O(log n) time, but Θ(n log n) work — part of the E9 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graphs.functional_graph import validate_function
+from ..pram.machine import Machine
+from ..primitives.euler_tour import EulerStructure, build_euler_structure, mark_cycle_arcs
+from ..primitives.integer_sort import SortCostModel
+from ..primitives.pointer_jumping import kth_successor
+
+
+def _ensure_machine(machine: Optional[Machine]) -> Machine:
+    return machine if machine is not None else Machine.default()
+
+
+@dataclass
+class CycleDetectionResult:
+    """Output of the Euler-tour cycle detection.
+
+    Attributes
+    ----------
+    on_cycle:
+        Boolean mask over nodes.
+    cycle_key:
+        For cycle nodes, an identifier shared exactly by the nodes of the
+        same cycle (the circuit id of the node's forward arc); ``-1`` for
+        tree nodes.  Keys are *not* dense — use the cycle-labelling phase's
+        enumeration for dense ids.
+    structure:
+        The Euler structure of the doubled graph (reusable downstream).
+    """
+
+    on_cycle: np.ndarray
+    cycle_key: np.ndarray
+    structure: EulerStructure
+
+
+def find_cycle_nodes(
+    function,
+    *,
+    machine: Optional[Machine] = None,
+    cost_model: SortCostModel = SortCostModel.CHARGED,
+) -> CycleDetectionResult:
+    """Mark the cycle nodes of a functional graph (the paper's Section 5).
+
+    Cost: one adapter-charged integer sort (adjacency build), one
+    list-ranking-style circuit labelling, and O(1) linear-work rounds —
+    O(log n) time, O(n) work plus the sort.
+    """
+    m = _ensure_machine(machine)
+    f = validate_function(function)
+    n = len(f)
+    with m.span("find_cycle_nodes"):
+        structure = build_euler_structure(
+            np.arange(n, dtype=np.int64), f, n, machine=m, cost_model=cost_model
+        )
+        cycle_arc = mark_cycle_arcs(structure, machine=m)
+        m.tick(n, rounds=2)
+        on_cycle = np.zeros(n, dtype=bool)
+        # forward arc of node x has arc index x (edges were given as (x, f(x)))
+        forward_is_cycle = cycle_arc[:n]
+        on_cycle[structure.tail[:n][forward_is_cycle]] = True
+        cycle_key = np.where(on_cycle, structure.circuit_id[:n], -1)
+    return CycleDetectionResult(on_cycle=on_cycle, cycle_key=cycle_key, structure=structure)
+
+
+def find_cycle_nodes_doubling(
+    function,
+    *,
+    machine: Optional[Machine] = None,
+) -> np.ndarray:
+    """Baseline: cycle nodes = image of ``f^n`` (repeated squaring).
+
+    O(log n) rounds of O(n) work each (Θ(n log n) work total) — the
+    work-inefficient but very simple alternative used in the E9 ablation
+    and as an independent correctness cross-check in the tests.
+    """
+    m = _ensure_machine(machine)
+    f = validate_function(function)
+    n = len(f)
+    with m.span("find_cycle_nodes_doubling"):
+        g = kth_successor(f, n, machine=m)
+        m.tick(n)
+        on_cycle = np.zeros(n, dtype=bool)
+        on_cycle[g] = True
+    return on_cycle

@@ -1,0 +1,209 @@
+"""*Algorithm tree node labeling* (Section 4): Q-labels of the tree nodes.
+
+After the cycle nodes are labelled, the tree nodes split into two groups:
+
+* nodes whose Q-label coincides with a cycle node's — by Lemma 4.1 these
+  are exactly the nodes whose entire root path carries the same B-labels
+  as the corresponding stretch of their cycle (walking backwards from the
+  entry point); they inherit the corresponding cycle node's label;
+* the remaining nodes, which form a *residual forest* rooted just below
+  the labelled region; by Lemma 4.2 two of them are equivalent iff their
+  root-path B-label strings are equal and the Q-labels of their roots'
+  parents agree.  The paper labels this forest with the pointer-jumping /
+  BB-table encoding technique of Section 3.2, with the Kedem–Palem
+  scheduling argument bringing the work to O(n).
+
+Implementation notes (cost accounting): steps 1–4 are realised with the
+Euler-tour weighted-level primitive, so they charge the paper's O(log n)
+time / O(n) work.  Step 5 is realised as BB-table doubling over the
+residual forest, which incurs Θ(R log R) operations for a residual forest
+of size R; the published O(R) bound (Kedem–Palem [15]) is recorded through
+the cost adapter exactly like the integer-sorting substitution (DESIGN.md
+§2), so both figures appear in the accounting and in the E9 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.functional_graph import validate_function
+from ..pram.machine import Machine
+from ..pram.metrics import CostCounter, log_time_bound
+from ..primitives.euler_tour import forest_structure, vertex_levels_from_tree
+from ..primitives.integer_sort import SortCostModel, rank_values
+from ..types import as_int_array
+from .cycle_labeling import CycleLabelingResult
+
+
+def _ensure_machine(machine: Optional[Machine]) -> Machine:
+    return machine if machine is not None else Machine.default()
+
+
+@dataclass
+class TreeLabelingResult:
+    """Q-labels for every node plus diagnostics about the phase."""
+
+    q_labels: np.ndarray
+    num_labels: int
+    #: tree nodes that inherited a cycle node's label (marked after step 3)
+    inherited_mask: np.ndarray
+    #: size of the residual forest labelled in step 5
+    residual_size: int
+
+
+def label_tree_nodes(
+    function,
+    initial_labels,
+    on_cycle,
+    cycles: CycleLabelingResult,
+    *,
+    machine: Optional[Machine] = None,
+    cost_model: SortCostModel = SortCostModel.CHARGED,
+) -> TreeLabelingResult:
+    """Label the tree nodes given the labelled cycles (see module docstring)."""
+    m = _ensure_machine(machine)
+    f = validate_function(function)
+    labels_b = as_int_array(initial_labels, "initial_labels")
+    n = len(f)
+    on_cyc = np.asarray(on_cycle, dtype=bool)
+    q_labels = cycles.q_labels.copy()
+    next_label = cycles.num_labels
+
+    tree_nodes = np.flatnonzero(~on_cyc)
+    if len(tree_nodes) == 0:
+        return TreeLabelingResult(
+            q_labels=q_labels,
+            num_labels=next_label,
+            inherited_mask=np.zeros(n, dtype=bool),
+            residual_size=0,
+        )
+
+    with m.span("tree_labeling"):
+        # --------------------------------------------------------------
+        # Step 1: levels and entry points (roots) of the trees hanging off
+        # the cycles — Euler tour technique, O(log n) time, O(n) work.
+        # --------------------------------------------------------------
+        parent = np.where(on_cyc, np.arange(n, dtype=np.int64), f)
+        structure, root_of = forest_structure(parent, on_cyc, machine=m, cost_model=cost_model)
+        level = vertex_levels_from_tree(parent, on_cyc, machine=m, structure=structure)
+
+        # --------------------------------------------------------------
+        # Step 2: mark tree nodes whose B-label matches the corresponding
+        # cycle node (Lemma 4.1): the cycle node `level` steps *before* the
+        # entry point along the cycle.
+        # --------------------------------------------------------------
+        m.tick(n, rounds=3)
+        entry = root_of  # cycle node the tree drains into (self for cycle nodes)
+        c_of_entry = cycles.cycle_index[entry]
+        k_of_entry = np.where(c_of_entry >= 0, cycles.cycle_lengths[np.maximum(c_of_entry, 0)], 1)
+        corresponding_rank = (cycles.cycle_rank[entry] - level) % k_of_entry
+        corresponding = cycles.layout_node[
+            cycles.cycle_offsets[np.maximum(c_of_entry, 0)] + corresponding_rank
+        ]
+        marked = on_cyc | (labels_b == labels_b[corresponding])
+
+        # --------------------------------------------------------------
+        # Step 3: unmark every descendant of an unmarked node — a node stays
+        # marked iff no ancestor (itself included) is unmarked, i.e. iff its
+        # unmarked-ancestor count is zero.  Weighted Euler levels give that
+        # count in O(log n) time and O(n) work.
+        # --------------------------------------------------------------
+        unmarked_weight = (~marked).astype(np.int64)
+        unmarked_count = vertex_levels_from_tree(
+            parent, on_cyc, machine=m, node_weight=unmarked_weight, structure=structure
+        )
+        m.tick(n)
+        inherits = (~on_cyc) & (unmarked_count == 0)
+
+        # --------------------------------------------------------------
+        # Step 4: marked nodes inherit the corresponding cycle node's label.
+        # --------------------------------------------------------------
+        m.tick(n)
+        q_labels[inherits] = cycles.q_labels[corresponding[inherits]]
+
+        # --------------------------------------------------------------
+        # Step 5: residual forest (still-unlabelled nodes).
+        # --------------------------------------------------------------
+        residual = (~on_cyc) & ~inherits
+        residual_size = int(residual.sum())
+        if residual_size:
+            new_codes = _label_residual_forest(
+                f, labels_b, q_labels, residual, m, cost_model
+            )
+            m.tick(residual_size)
+            dense, num_new = rank_values(new_codes, machine=m, cost_model=cost_model)
+            q_labels[residual] = next_label + dense - 1
+            next_label += int(num_new)
+
+    return TreeLabelingResult(
+        q_labels=q_labels,
+        num_labels=next_label,
+        inherited_mask=inherits,
+        residual_size=residual_size,
+    )
+
+
+def _label_residual_forest(
+    f: np.ndarray,
+    labels_b: np.ndarray,
+    q_labels: np.ndarray,
+    residual: np.ndarray,
+    machine: Machine,
+    cost_model: SortCostModel,
+) -> np.ndarray:
+    """Codes for the residual-forest nodes: equal code iff equal Q-label.
+
+    BB-table pointer doubling over the residual forest (Lemma 4.2 /
+    Section 3.2 technique).  Runs on a sub-counter; the published
+    Kedem–Palem O(R) work bound is charged through the adapter while the
+    incurred Θ(R log R) operations are preserved for the ablation.
+    """
+    n = len(f)
+    sub = Machine(machine.model, counter=CostCounter(), audit=machine.audit)
+    res_nodes = np.flatnonzero(residual)
+    r = len(res_nodes)
+
+    # Initial codes: residual nodes use their (densified) B-label; labelled
+    # nodes (cycle nodes, inheriting tree nodes) act as absorbers carrying
+    # their Q-label shifted into a disjoint range.
+    sub.tick(n)
+    sigma = int(labels_b.max()) + 1
+    eq = np.where(residual, labels_b, sigma + np.maximum(q_labels, 0)).astype(np.int64)
+    absorber_space = sigma + int(q_labels.max()) + 2
+    ptr = np.where(residual, f, np.arange(n, dtype=np.int64))
+
+    table = sub.sparse_table("BB-residual")
+    address_base = absorber_space
+    max_rounds = int(np.ceil(np.log2(max(2, n)))) + 2
+    # All nodes participate every round: absorbers recombine with themselves
+    # so that code granularities stay aligned across rounds (Section 3.2).
+    everyone = np.arange(n, dtype=np.int64)
+    active = np.flatnonzero(residual)
+    saturated_before = False
+    for _round in range(max_rounds):
+        d1 = everyone
+        d2 = ptr[everyone]
+        sub.concurrent_write_pairs(table, eq[d1], eq[d2], address_base + d1)
+        eq = sub.concurrent_read_pairs(table, eq[d1], eq[d2])
+        sub.tick(n)
+        ptr = ptr[ptr]
+        address_base += n
+        # Stop one full round *after* every residual pointer has reached the
+        # labelled region, so the combined code provably includes the
+        # absorbing parent's Q-label (the path signature of Lemma 4.2).
+        saturated_now = not residual[ptr[active]].any()
+        if saturated_before and saturated_now:
+            break
+        saturated_before = saturated_now
+
+    machine.counter.charge_adapter(
+        incurred_work=sub.counter.work,
+        incurred_rounds=sub.counter.time,
+        charged_work=4 * max(1, r),
+        charged_rounds=log_time_bound(max(2, r), 2.0),
+        label="residual_forest_labeling",
+    )
+    return eq[res_nodes]

@@ -1,0 +1,80 @@
+"""PRAM simulation substrate.
+
+This subpackage implements the machine model the paper's algorithms are
+stated for: a step-synchronous PRAM with selectable memory-access rules
+(EREW, CREW, common CRCW, arbitrary CRCW), exact accounting of parallel
+time (rounds) and work (operations), phase attribution, and Brent
+scheduling onto a finite number of processors.
+
+Quick tour
+----------
+
+>>> from repro.pram import Machine, arbitrary_crcw
+>>> m = Machine(arbitrary_crcw())
+>>> a = m.alloc(8, fill=1)
+>>> _ = m.map(lambda x: x + 1, a.data)
+>>> m.time, m.work
+(2, 16)
+"""
+
+from .machine import Machine
+from .memory import SharedArray, SparseTable
+from .metrics import (
+    CostCounter,
+    log_time_bound,
+    log_work_bound,
+    loglog_work_bound,
+    sort_time_bound_bhatt,
+)
+from .models import (
+    MODELS,
+    ArbitraryWinner,
+    PramModel,
+    ReadPolicy,
+    WritePolicy,
+    arbitrary_crcw,
+    common_crcw,
+    crew,
+    erew,
+    get_model,
+)
+from .scheduler import SpeedupPoint, StepProfile, processors_for_time, speedup_table
+from .instrumentation import (
+    TraceEvent,
+    TraceRecorder,
+    bound_ratios,
+    compare_report,
+    cost_report,
+    phase_report,
+)
+
+__all__ = [
+    "Machine",
+    "SharedArray",
+    "SparseTable",
+    "CostCounter",
+    "PramModel",
+    "ReadPolicy",
+    "WritePolicy",
+    "ArbitraryWinner",
+    "MODELS",
+    "erew",
+    "crew",
+    "common_crcw",
+    "arbitrary_crcw",
+    "get_model",
+    "StepProfile",
+    "SpeedupPoint",
+    "processors_for_time",
+    "speedup_table",
+    "TraceRecorder",
+    "TraceEvent",
+    "bound_ratios",
+    "cost_report",
+    "phase_report",
+    "compare_report",
+    "log_work_bound",
+    "loglog_work_bound",
+    "log_time_bound",
+    "sort_time_bound_bhatt",
+]

@@ -1,0 +1,269 @@
+"""The PRAM machine: step-synchronous bulk operations with cost accounting.
+
+Algorithms in this library are written in the *data-parallel bulk* style:
+each synchronous PRAM step is expressed as one (or a few) vectorised NumPy
+operations over the set of active processors, executed through a
+:class:`Machine`.  The machine
+
+* charges the step to its :class:`~repro.pram.metrics.CostCounter`
+  (``time += 1``, ``work += number of active processors``),
+* validates the access pattern against the selected
+  :class:`~repro.pram.models.PramModel` (EREW / CREW / common CRCW /
+  arbitrary CRCW), and
+* resolves concurrent writes according to the model's winner policy.
+
+This gives exactly the quantities the paper's theorems are about — the
+number of synchronous rounds and the total number of operations — while the
+actual execution happens on vectorised NumPy kernels (see the HPC guides:
+vectorise the inner loops, count cost explicitly, never rely on Python-level
+loops for the hot path).
+
+The machine is intentionally *not* a byte-level CPU simulator.  It trusts
+the algorithm to decompose itself into legitimate O(1)-per-processor steps
+and audits only the memory access pattern; the decomposition is itself
+exercised by the unit tests of each primitive.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from .memory import SharedArray, SparseTable
+from .metrics import CostCounter
+from .models import ArbitraryWinner, PramModel, arbitrary_crcw
+
+ArrayLike = Union[SharedArray, np.ndarray]
+
+
+def _data(arr: ArrayLike) -> np.ndarray:
+    return arr.data if isinstance(arr, SharedArray) else arr
+
+
+class Machine:
+    """A simulated PRAM with a fixed memory model and a cost counter.
+
+    Parameters
+    ----------
+    model:
+        The PRAM variant to audit against; defaults to the arbitrary CRCW
+        machine used by the paper's Theorem 5.1.
+    counter:
+        Cost counter to charge; a fresh one is created when omitted.
+    seed:
+        Seed for the random winner policy (and any randomised primitives).
+    audit:
+        When ``False`` conflict checking is skipped (cost is still
+        charged).  Auditing costs extra Python/NumPy time; benchmarks that
+        only need counts may disable it, correctness tests keep it on.
+    """
+
+    def __init__(
+        self,
+        model: Optional[PramModel] = None,
+        *,
+        counter: Optional[CostCounter] = None,
+        seed: int = 0,
+        audit: bool = True,
+    ) -> None:
+        self.model = model if model is not None else arbitrary_crcw()
+        self.counter = counter if counter is not None else CostCounter()
+        self.rng = np.random.default_rng(seed)
+        self.audit = audit
+
+    # ------------------------------------------------------------------
+    # constructors / conveniences
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(cls, **kwargs) -> "Machine":
+        """An arbitrary-CRCW machine with default settings."""
+        return cls(arbitrary_crcw(), **kwargs)
+
+    def clone_for(self, model: PramModel) -> "Machine":
+        """A machine sharing this machine's counter but a different model."""
+        return Machine(model, counter=self.counter, audit=self.audit)
+
+    def with_winner(self, winner: ArbitraryWinner) -> "Machine":
+        """A machine identical to this one but with a different write winner."""
+        return Machine(
+            self.model.with_winner(winner),
+            counter=self.counter,
+            audit=self.audit,
+        )
+
+    # ------------------------------------------------------------------
+    # memory allocation
+    # ------------------------------------------------------------------
+    def alloc(self, n: int, fill: int = 0, *, name: str = "mem", dtype=np.int64) -> SharedArray:
+        """Allocate a shared array of ``n`` cells initialised to ``fill``.
+
+        Allocation itself is free in the PRAM model (memory is given); the
+        *initialisation* is charged as one parallel step of ``n`` work when
+        ``fill`` is non-trivial, matching how the algorithms in the paper
+        count their initialisation loops.
+        """
+        data = np.full(n, fill, dtype=dtype)
+        if n:
+            self.counter.tick(n)
+        return SharedArray(name, data)
+
+    def alloc_like(self, values: np.ndarray, *, name: str = "mem") -> SharedArray:
+        """Allocate a shared array holding a copy of ``values`` (charged)."""
+        data = np.array(values, copy=True)
+        if len(data):
+            self.counter.tick(len(data))
+        return SharedArray(name, data)
+
+    def sparse_table(self, name: str = "BB", *, dense_shape=None) -> SparseTable:
+        """Allocate a (sparse) concurrent-write pair table — see DESIGN §2."""
+        return SparseTable(name, dense_shape=dense_shape)
+
+    # ------------------------------------------------------------------
+    # charging helpers
+    # ------------------------------------------------------------------
+    def tick(self, work: int, *, rounds: int = 1) -> None:
+        """Charge a step performed outside read/write (pure computation)."""
+        self.counter.tick(work, rounds=rounds)
+
+    @contextmanager
+    def span(self, label: str) -> Iterator[None]:
+        """Attribute all cost charged in the block to phase ``label``."""
+        with self.counter.span(label):
+            yield
+
+    @property
+    def time(self) -> int:
+        return self.counter.time
+
+    @property
+    def work(self) -> int:
+        return self.counter.work
+
+    # ------------------------------------------------------------------
+    # synchronous bulk memory operations
+    # ------------------------------------------------------------------
+    def read(self, array: ArrayLike, indices: np.ndarray, *, charge: bool = True) -> np.ndarray:
+        """Processor ``i`` reads ``array[indices[i]]`` — one synchronous step.
+
+        Returns the gathered values.  On an exclusive-read machine,
+        duplicate indices raise :class:`~repro.errors.ConcurrentReadError`.
+        """
+        data = _data(array)
+        idx = np.asarray(indices, dtype=np.int64)
+        if self.audit:
+            self.model.read.check(idx)
+        if charge:
+            self.counter.tick(len(idx))
+        return data[idx]
+
+    def write(
+        self,
+        array: ArrayLike,
+        indices: np.ndarray,
+        values: Union[np.ndarray, int],
+        *,
+        charge: bool = True,
+    ) -> None:
+        """Processor ``i`` writes ``values[i]`` to ``array[indices[i]]``.
+
+        Concurrent writes are resolved by the machine's model: rejected on
+        EREW/CREW, required to agree on common CRCW, and reduced to an
+        arbitrary winner on arbitrary CRCW.
+        """
+        data = _data(array)
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.broadcast_to(np.asarray(values), idx.shape).astype(data.dtype, copy=False)
+        if charge:
+            self.counter.tick(len(idx))
+        if len(idx) == 0:
+            return
+        if self.audit:
+            uniq, winners = self.model.write.resolve(idx, vals, rng=self.rng)
+            data[uniq] = winners
+        else:
+            # Unaudited fast path keeps arbitrary-CRCW "first writer wins"
+            # semantics deterministic: later duplicate indices must not
+            # overwrite earlier ones, so reverse before scatter (NumPy keeps
+            # the last assignment per duplicate index).
+            data[idx[::-1]] = vals[::-1]
+
+    def concurrent_write_pairs(
+        self,
+        table: SparseTable,
+        keys_a: np.ndarray,
+        keys_b: np.ndarray,
+        values: np.ndarray,
+        *,
+        charge: bool = True,
+    ) -> None:
+        """Arbitrary-CRCW simultaneous write into a pair-addressed table.
+
+        This is the core of the paper's Algorithm *partition*: processor
+        ``i`` writes ``values[i]`` into cell ``(keys_a[i], keys_b[i])`` of
+        the ``BB`` table; exactly one writer per cell survives.
+        """
+        ka = np.asarray(keys_a, dtype=np.int64)
+        kb = np.asarray(keys_b, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.int64)
+        if not (len(ka) == len(kb) == len(vals)):
+            raise ValueError("keys_a, keys_b and values must have equal length")
+        if charge:
+            self.counter.tick(len(ka))
+        if len(ka) == 0:
+            return
+        # Encode the pair into a single address for conflict resolution.
+        span = int(kb.max()) + 1 if len(kb) else 1
+        flat = ka * span + kb
+        uniq, winners = self.model.write.resolve(flat, vals, rng=self.rng)
+        table.store(uniq // span, uniq % span, winners)
+
+    def concurrent_read_pairs(
+        self,
+        table: SparseTable,
+        keys_a: np.ndarray,
+        keys_b: np.ndarray,
+        *,
+        default: int = -1,
+        charge: bool = True,
+    ) -> np.ndarray:
+        """Concurrent read back from a pair-addressed table (one step)."""
+        ka = np.asarray(keys_a, dtype=np.int64)
+        kb = np.asarray(keys_b, dtype=np.int64)
+        if charge:
+            self.counter.tick(len(ka))
+        if self.audit and not self.model.read.allow_concurrent and len(ka) > 1:
+            span = int(kb.max()) + 1 if len(kb) else 1
+            self.model.read.check(ka * span + kb)
+        return table.load(ka, kb, default=default)
+
+    # ------------------------------------------------------------------
+    # common fused bulk steps (each counts as O(1) parallel rounds)
+    # ------------------------------------------------------------------
+    def map(self, func, *arrays: np.ndarray, rounds: int = 1) -> np.ndarray:
+        """Apply an elementwise (vectorised) ``func`` — one step, |array| work.
+
+        ``func`` must be a NumPy-vectorised callable of the given arrays;
+        the machine charges one round with work equal to the length of the
+        first array.  This models "each processor applies an O(1) local
+        computation to its element".
+        """
+        if not arrays:
+            raise ValueError("map requires at least one array")
+        n = len(_data(arrays[0]))
+        self.counter.tick(n, rounds=rounds)
+        return func(*[_data(a) for a in arrays])
+
+    def select(self, mask: np.ndarray) -> np.ndarray:
+        """Return indices where ``mask`` is true (charged as one step).
+
+        Compaction via prefix sums is itself an ``O(log n)``-time PRAM
+        operation; callers that need the *cost* of compaction to be modelled
+        accurately should use :func:`repro.primitives.prefix_sums.compact`
+        instead.  ``select`` is the cheap form used where the paper assumes
+        processors are already allocated to the selected elements.
+        """
+        m = _data(mask)
+        self.counter.tick(len(m))
+        return np.flatnonzero(m)

@@ -1,0 +1,129 @@
+"""Shared-memory abstractions for the PRAM simulator.
+
+Two shared-memory containers are provided:
+
+* :class:`SharedArray` — a dense NumPy-backed array of cells, used for all
+  the ordinary working arrays of the algorithms.
+* :class:`SparseTable` — a dictionary-backed two-dimensional table used to
+  realise the paper's ``BB[1..n, 1..n]`` arbitrary-CRCW encoding table
+  without allocating :math:`O(n^2)` memory (see DESIGN.md §2 for why this
+  substitution is faithful: only :math:`O(n)` cells are touched per round,
+  and the dense table exists only to give each pair of codes a unique
+  address).
+
+Both containers route every batched access through the machine's
+:class:`~repro.pram.models.PramModel`, so illegal concurrent accesses are
+detected, and charge the machine's :class:`~repro.pram.metrics.CostCounter`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..types import as_int_array
+
+
+class SharedArray:
+    """A dense array of shared-memory cells owned by a :class:`Machine`.
+
+    The array is intentionally a thin wrapper over ``numpy.ndarray``; the
+    interesting behaviour (conflict checks, cost charging) lives in the
+    machine's batched ``read``/``write`` operations, which accept either a
+    ``SharedArray`` or a raw ndarray.  Keeping a named wrapper still pays
+    off for diagnostics (conflict errors can say *which* array) and for
+    preventing accidental aliasing bugs in algorithm code.
+    """
+
+    __slots__ = ("name", "data")
+
+    def __init__(self, name: str, data: np.ndarray) -> None:
+        self.name = name
+        self.data = data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, idx):
+        return self.data[idx]
+
+    def __setitem__(self, idx, value) -> None:
+        self.data[idx] = value
+
+    def copy(self) -> "SharedArray":
+        return SharedArray(self.name, self.data.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedArray({self.name!r}, n={len(self.data)}, dtype={self.data.dtype})"
+
+
+class SparseTable:
+    """Sparse realisation of the paper's ``BB`` concurrent-write table.
+
+    The table maps a *pair* of integer codes ``(a, b)`` to a value.  In the
+    paper each pair addresses a distinct cell of an ``n x n`` array so that
+    an arbitrary-CRCW simultaneous write leaves exactly one winner per
+    pair; reading the cell back gives every processor holding that pair the
+    same (arbitrary) representative value.
+
+    The sparse table reproduces those semantics with a dict keyed by the
+    pair.  A dense NumPy backing is optionally available
+    (``dense_limit``) so tests can verify the two behave identically on
+    small instances.
+    """
+
+    def __init__(self, name: str = "BB", *, dense_shape: Optional[Tuple[int, int]] = None) -> None:
+        self.name = name
+        self._cells: Dict[Tuple[int, int], int] = {}
+        self._dense: Optional[np.ndarray] = None
+        if dense_shape is not None:
+            rows, cols = dense_shape
+            if rows < 0 or cols < 0:
+                raise ValueError("dense_shape must be non-negative")
+            self._dense = np.full((rows, cols), -1, dtype=np.int64)
+
+    # The machine performs conflict resolution before calling these, so the
+    # methods below see at most one write per key per step.
+    def store(self, keys_a: np.ndarray, keys_b: np.ndarray, values: np.ndarray) -> None:
+        """Store winner ``values`` at the given (already de-duplicated) keys."""
+        if self._dense is not None:
+            self._dense[keys_a, keys_b] = values
+        # The dict is always maintained, even with a dense backing, so that
+        # `load` has a single code path and tests can compare the two.
+        for a, b, v in zip(keys_a.tolist(), keys_b.tolist(), values.tolist()):
+            self._cells[(a, b)] = v
+
+    def load(self, keys_a: np.ndarray, keys_b: np.ndarray, default: int = -1) -> np.ndarray:
+        """Read the values stored at each key pair (vectorised via dict lookup)."""
+        out = np.empty(len(keys_a), dtype=np.int64)
+        cells = self._cells
+        for i, (a, b) in enumerate(zip(keys_a.tolist(), keys_b.tolist())):
+            out[i] = cells.get((a, b), default)
+        return out
+
+    def clear(self) -> None:
+        """Erase all cells (a fresh table for the next doubling round)."""
+        self._cells.clear()
+        if self._dense is not None:
+            self._dense.fill(-1)
+
+    @property
+    def num_cells_touched(self) -> int:
+        """Number of distinct cells ever written (space audit for DESIGN §2)."""
+        return len(self._cells)
+
+    def dense_view(self) -> Optional[np.ndarray]:
+        """Return the dense backing array if one was requested, else ``None``."""
+        return self._dense
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SparseTable({self.name!r}, cells={len(self._cells)})"
+
+
+def ensure_index_array(indices, n: int, name: str = "indices") -> np.ndarray:
+    """Validate that ``indices`` are within ``[0, n)`` and return int64 array."""
+    arr = as_int_array(indices, name)
+    if len(arr) and (arr.min() < 0 or arr.max() >= n):
+        raise IndexError(f"{name} out of range [0, {n}): min={arr.min()}, max={arr.max()}")
+    return arr

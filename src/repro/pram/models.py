@@ -1,0 +1,225 @@
+"""PRAM memory-model policies.
+
+The paper's main algorithm requires the **arbitrary CRCW PRAM**: on a
+simultaneous write, exactly one of the writers succeeds and the algorithm
+must be correct *whichever* one it is.  Some steps only need the weaker
+**common CRCW** model (all simultaneous writers write the same value), and
+the classic primitives (prefix sums, list ranking) run on EREW/CREW.
+
+A :class:`WritePolicy` resolves a batch of concurrent writes into one
+surviving value per address and validates that the access pattern is legal
+for the model.  A :class:`ReadPolicy` validates concurrent reads.  The
+:class:`PramModel` bundles the two plus a human-readable name.
+
+To honour the "we do not care which processor succeeds" semantics of the
+arbitrary model, the winner selection is configurable
+(:class:`ArbitraryWinner`): first writer, last writer, or a seeded random
+writer.  Experiment E10 checks that the paper's Algorithm *partition*
+yields the same equivalence classes under every policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import CommonWriteValueError, ConcurrentReadError, ConcurrentWriteError
+
+
+class ArbitraryWinner(enum.Enum):
+    """Winner-selection policy for simultaneous writes on the arbitrary CRCW."""
+
+    FIRST = "first"  #: lowest processor index wins
+    LAST = "last"  #: highest processor index wins
+    RANDOM = "random"  #: a seeded-random writer wins (deterministic per seed)
+
+
+def _group_duplicates(addresses: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort addresses and return (order, unique_addresses, start offsets).
+
+    ``order`` is a stable argsort of ``addresses``; ``starts`` gives, for
+    each unique address, the offset of its first occurrence in the sorted
+    order.  Helper shared by the read/write policies below.
+    """
+    order = np.argsort(addresses, kind="stable")
+    sorted_addr = addresses[order]
+    if len(sorted_addr) == 0:
+        return order, sorted_addr, np.zeros(0, dtype=np.int64)
+    is_first = np.empty(len(sorted_addr), dtype=bool)
+    is_first[0] = True
+    np.not_equal(sorted_addr[1:], sorted_addr[:-1], out=is_first[1:])
+    starts = np.flatnonzero(is_first)
+    return order, sorted_addr[starts], starts
+
+
+@dataclass(frozen=True)
+class ReadPolicy:
+    """Validates a batch of concurrent reads."""
+
+    allow_concurrent: bool
+
+    def check(self, addresses: np.ndarray) -> None:
+        if self.allow_concurrent or len(addresses) < 2:
+            return
+        sorted_addr = np.sort(addresses, kind="stable")
+        dup = sorted_addr[1:] == sorted_addr[:-1]
+        if np.any(dup):
+            bad = np.unique(sorted_addr[1:][dup])[:8]
+            raise ConcurrentReadError(
+                f"concurrent read of {bad.size}+ shared cells is illegal on an "
+                "exclusive-read machine",
+                addresses=bad.tolist(),
+            )
+
+
+@dataclass(frozen=True)
+class WritePolicy:
+    """Validates and resolves a batch of concurrent writes.
+
+    Parameters
+    ----------
+    allow_concurrent:
+        Whether simultaneous writes to the same address are legal at all.
+    require_common_value:
+        If ``True`` (common CRCW), simultaneous writers must agree on the
+        written value, otherwise :class:`CommonWriteValueError` is raised.
+    winner:
+        Which writer survives when concurrent writes are allowed.
+    """
+
+    allow_concurrent: bool
+    require_common_value: bool = False
+    winner: ArbitraryWinner = ArbitraryWinner.FIRST
+
+    def resolve(
+        self,
+        addresses: np.ndarray,
+        values: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(unique_addresses, surviving_values)`` for the batch.
+
+        The batch is interpreted as processor ``i`` writing ``values[i]``
+        to ``addresses[i]``, all in the same synchronous step.
+        """
+        if len(addresses) == 0:
+            return addresses, values
+        order, uniq, starts = _group_duplicates(addresses)
+        counts = np.diff(np.append(starts, len(addresses)))
+        has_conflict = np.any(counts > 1)
+        if has_conflict and not self.allow_concurrent:
+            bad = uniq[counts > 1][:8]
+            raise ConcurrentWriteError(
+                "concurrent write to the same shared cell is illegal on an "
+                "exclusive-write machine",
+                addresses=bad.tolist(),
+            )
+        sorted_values = values[order]
+        if has_conflict and self.require_common_value:
+            # all writers of an address must agree on the value
+            firsts = np.repeat(sorted_values[starts], counts)
+            if np.any(firsts != sorted_values):
+                mism = uniq[
+                    np.flatnonzero(
+                        np.add.reduceat((firsts != sorted_values).astype(np.int64), starts) > 0
+                    )
+                ][:8]
+                raise CommonWriteValueError(
+                    "simultaneous writers disagreed on the written value under "
+                    "the common-CRCW model",
+                    addresses=mism.tolist(),
+                )
+        if self.winner is ArbitraryWinner.FIRST:
+            # lowest processor index: stable sort keeps processor order within
+            # each address group, so the group's first entry is the winner.
+            winners = sorted_values[starts]
+        elif self.winner is ArbitraryWinner.LAST:
+            ends = np.append(starts[1:], len(addresses)) - 1
+            winners = sorted_values[ends]
+        else:  # RANDOM
+            if rng is None:
+                rng = np.random.default_rng(0)
+            offsets = (rng.random(len(starts)) * counts).astype(np.int64)
+            offsets = np.minimum(offsets, counts - 1)
+            winners = sorted_values[starts + offsets]
+        return uniq, winners
+
+
+@dataclass(frozen=True)
+class PramModel:
+    """A named PRAM variant: read policy + write policy."""
+
+    name: str
+    read: ReadPolicy
+    write: WritePolicy
+
+    def with_winner(self, winner: ArbitraryWinner) -> "PramModel":
+        """Return a copy of this model with a different write-winner policy."""
+        return PramModel(
+            name=self.name,
+            read=self.read,
+            write=WritePolicy(
+                allow_concurrent=self.write.allow_concurrent,
+                require_common_value=self.write.require_common_value,
+                winner=winner,
+            ),
+        )
+
+
+def erew() -> PramModel:
+    """Exclusive-read exclusive-write PRAM."""
+    return PramModel(
+        name="EREW",
+        read=ReadPolicy(allow_concurrent=False),
+        write=WritePolicy(allow_concurrent=False),
+    )
+
+
+def crew() -> PramModel:
+    """Concurrent-read exclusive-write PRAM."""
+    return PramModel(
+        name="CREW",
+        read=ReadPolicy(allow_concurrent=True),
+        write=WritePolicy(allow_concurrent=False),
+    )
+
+
+def common_crcw() -> PramModel:
+    """Concurrent-read concurrent-write PRAM, common-value write rule."""
+    return PramModel(
+        name="common-CRCW",
+        read=ReadPolicy(allow_concurrent=True),
+        write=WritePolicy(allow_concurrent=True, require_common_value=True),
+    )
+
+
+def arbitrary_crcw(winner: ArbitraryWinner = ArbitraryWinner.FIRST) -> PramModel:
+    """Concurrent-read concurrent-write PRAM, arbitrary-winner write rule.
+
+    This is the model the paper's Theorem 5.1 is stated for.
+    """
+    return PramModel(
+        name="arbitrary-CRCW",
+        read=ReadPolicy(allow_concurrent=True),
+        write=WritePolicy(allow_concurrent=True, require_common_value=False, winner=winner),
+    )
+
+
+#: Registry of model constructors by canonical name (used by CLI/benchmarks).
+MODELS = {
+    "erew": erew,
+    "crew": crew,
+    "common-crcw": common_crcw,
+    "arbitrary-crcw": arbitrary_crcw,
+}
+
+
+def get_model(name: str) -> PramModel:
+    """Look up a PRAM model by case-insensitive name."""
+    key = name.strip().lower()
+    if key not in MODELS:
+        raise KeyError(f"unknown PRAM model {name!r}; choose from {sorted(MODELS)}")
+    return MODELS[key]()

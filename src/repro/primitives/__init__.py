@@ -1,0 +1,84 @@
+"""Classic PRAM primitives used as substrates by the paper's algorithms.
+
+Every routine takes an optional ``machine=`` (a :class:`repro.pram.Machine`)
+through which its parallel time and work are charged; omitting it creates a
+fresh default arbitrary-CRCW machine so standalone calls still work.
+
+The primitives and the paper steps they serve:
+
+==========================  ====================================================
+Primitive                   Used by
+==========================  ====================================================
+prefix sums / compaction    processor allocation, array packing everywhere
+list ranking                cycle node ranking (Alg. *cycle node labeling* S1)
+pointer jumping             tree levels / roots, residual forest labelling
+integer sorting (+adapter)  pair ranking in m.s.p./string sorting; Euler adjacency
+first-one / string compare  candidate elimination in Alg. *simple m.s.p.*
+Euler tour                  cycle-node detection (S5), tree levels (S4)
+parallel merge / mergesort  final sort of the shrunken strings (S3.1, step 5)
+==========================  ====================================================
+"""
+
+from .euler_tour import (
+    EulerStructure,
+    build_euler_structure,
+    forest_structure,
+    mark_cycle_arcs,
+    tour_positions,
+    vertex_levels_from_tree,
+)
+from .first_one import first_difference, first_one, lexicographic_compare
+from .integer_sort import (
+    SortCostModel,
+    rank_pairs,
+    rank_values,
+    sort_by_keys,
+    sort_pairs,
+)
+from .list_ranking import optimal_rank, rank_cycle, wyllie_rank
+from .merge import merge_sort, merge_sort_indices_by_comparator, parallel_merge
+from .pointer_jumping import distance_to_marked, jump_to_fixed_point, kth_successor
+from .prefix_sums import (
+    compact,
+    compact_indices,
+    enumerate_true,
+    prefix_sums,
+    reduce_min,
+    reduce_sum,
+    segment_ids,
+    segmented_prefix_sums,
+)
+
+__all__ = [
+    "prefix_sums",
+    "reduce_sum",
+    "reduce_min",
+    "compact",
+    "compact_indices",
+    "enumerate_true",
+    "segmented_prefix_sums",
+    "segment_ids",
+    "wyllie_rank",
+    "optimal_rank",
+    "rank_cycle",
+    "jump_to_fixed_point",
+    "distance_to_marked",
+    "kth_successor",
+    "sort_by_keys",
+    "sort_pairs",
+    "rank_pairs",
+    "rank_values",
+    "SortCostModel",
+    "first_one",
+    "first_difference",
+    "lexicographic_compare",
+    "EulerStructure",
+    "build_euler_structure",
+    "forest_structure",
+    "mark_cycle_arcs",
+    "tour_positions",
+    "vertex_levels_from_tree",
+    "parallel_merge",
+    "merge_sort",
+    "merge_sort_indices_by_comparator",
+]

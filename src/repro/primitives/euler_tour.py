@@ -1,0 +1,385 @@
+"""Euler-tour technique on forests and pseudo-forests.
+
+The Euler tour technique (Tarjan & Vishkin) turns tree computations into
+list computations: replace every undirected tree edge by two directed arcs
+("buddies"), define a successor function that, at each vertex, routes an
+incoming arc to the next outgoing arc in the circular adjacency order, and
+the arcs form one Euler circuit per tree, which can then be processed with
+list ranking.
+
+Two uses in the paper:
+
+* *Algorithm finding cycle nodes* (Section 5): build the buddy graph of
+  the pseudo-forest; the successor function produces, for every
+  pseudo-tree, exactly **two** Euler circuits, and a functional-graph edge
+  lies on the cycle of its pseudo-tree iff its two directed copies end up
+  in *different* circuits (tree edges and their buddies share a circuit).
+* *Algorithm tree node labeling* (Section 4, Step 1): vertex levels in the
+  rooted trees via the standard Euler-tour +1/-1 trick.
+
+Costs: building the adjacency structure uses one integer sort (charged via
+the adapter); the tours and rankings are ``O(log n)`` time, ``O(n)`` work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..pram.machine import Machine
+from ..types import as_int_array
+from .integer_sort import SortCostModel, sort_pairs
+from .list_ranking import optimal_rank, wyllie_rank
+from .prefix_sums import prefix_sums
+
+
+def _ensure_machine(machine: Optional[Machine]) -> Machine:
+    return machine if machine is not None else Machine.default()
+
+
+@dataclass
+class EulerStructure:
+    """Directed-arc structure of the doubled (buddy) graph.
+
+    For an input with ``n`` nodes and ``m`` edges ``(u_i, v_i)`` the doubled
+    graph has ``2m`` arcs: arc ``i`` is ``u_i -> v_i`` for ``i < m`` and the
+    buddy ``v_{i-m} -> u_{i-m}`` for ``i >= m``.
+
+    Attributes
+    ----------
+    tail, head:
+        Arc endpoints, length ``2m``.
+    buddy:
+        ``buddy[a]`` is the index of the reversed copy of arc ``a``.
+    successor:
+        The Euler-tour successor: the arc that follows ``a`` in its circuit.
+    circuit_id:
+        Identifier (smallest arc index) of the circuit each arc belongs to.
+    """
+
+    tail: np.ndarray
+    head: np.ndarray
+    buddy: np.ndarray
+    successor: np.ndarray
+    circuit_id: np.ndarray
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.tail)
+
+
+def build_euler_structure(
+    edge_tail,
+    edge_head,
+    num_nodes: int,
+    *,
+    machine: Optional[Machine] = None,
+    cost_model: SortCostModel = SortCostModel.CHARGED,
+) -> EulerStructure:
+    """Build the buddy-arc Euler structure of an undirected (multi)graph.
+
+    ``edge_tail[i] -> edge_head[i]`` are the original directed edges (for a
+    functional graph, ``x -> f(x)``); each gets a buddy in the reverse
+    direction.  The successor function is the Tarjan–Vishkin one: the arc
+    following ``(u, v)`` is the buddy-of-the-next arc in ``v``'s circular
+    list of incident arcs — equivalently, ``successor[a] = next arc out of
+    head[a] after buddy[a]`` in the sorted adjacency order.
+
+    Cost: one pair sort over ``2m`` items (adapter-charged) plus ``O(1)``
+    linear-work rounds.
+    """
+    m = _ensure_machine(machine)
+    tail0 = as_int_array(edge_tail, "edge_tail")
+    head0 = as_int_array(edge_head, "edge_head")
+    if len(tail0) != len(head0):
+        raise ValueError("edge_tail and edge_head must have equal length")
+    n_edges = len(tail0)
+    with m.span("euler_structure"):
+        m.tick(2 * n_edges if n_edges else 0)
+        tail = np.concatenate([tail0, head0])
+        head = np.concatenate([head0, tail0])
+        n_arcs = 2 * n_edges
+        buddy = np.concatenate(
+            [
+                np.arange(n_edges, dtype=np.int64) + n_edges,
+                np.arange(n_edges, dtype=np.int64),
+            ]
+        )
+        if n_arcs == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return EulerStructure(tail, head, buddy, empty, empty)
+
+        # Group arcs by tail: sort arcs by (tail, arc index) so that each
+        # vertex's outgoing arcs occupy a contiguous, circularly ordered run.
+        perm = sort_pairs(
+            tail,
+            np.arange(n_arcs, dtype=np.int64),
+            machine=m,
+            key_range=max(int(num_nodes), n_arcs) + 1,
+            cost_model=cost_model,
+        )
+        m.tick(n_arcs, rounds=2)
+        sorted_tail = tail[perm]
+        # position of each arc within its vertex group, and group boundaries
+        is_head_of_group = np.empty(n_arcs, dtype=bool)
+        is_head_of_group[0] = True
+        is_head_of_group[1:] = sorted_tail[1:] != sorted_tail[:-1]
+        group_start_positions = np.flatnonzero(is_head_of_group)
+        group_of_sorted = np.cumsum(is_head_of_group.astype(np.int64)) - 1
+        group_sizes = np.diff(np.append(group_start_positions, n_arcs))
+        pos_in_group = np.arange(n_arcs, dtype=np.int64) - group_start_positions[group_of_sorted]
+
+        # next_out[a] = the arc after a in its tail vertex's circular order
+        m.tick(n_arcs)
+        next_pos = (pos_in_group + 1) % group_sizes[group_of_sorted]
+        next_sorted_index = group_start_positions[group_of_sorted] + next_pos
+        next_out_sorted = perm[next_sorted_index]
+        next_out = np.empty(n_arcs, dtype=np.int64)
+        next_out[perm] = next_out_sorted
+
+        # Tarjan–Vishkin successor: succ(a) = next_out[buddy[a]]
+        m.tick(n_arcs)
+        successor = next_out[buddy]
+
+        circuit_id = _circuit_ids(successor, m)
+    return EulerStructure(tail, head, buddy, successor, circuit_id)
+
+
+def _circuit_ids(successor: np.ndarray, machine: Machine) -> np.ndarray:
+    """Label each arc with the minimum arc index on its circuit.
+
+    Realised as pointer doubling carrying a running minimum (``O(log n)``
+    rounds, ``O(n log n)`` incurred operations).  The paper's Section 5
+    charges this step at the cost of optimal list ranking ("all the steps
+    of the algorithm can be implemented using essentially the list ranking
+    algorithm", i.e. ``O(n)`` work); the gap is recorded through the cost
+    adapter so both figures appear in the accounting (see DESIGN.md §2 and
+    experiment E9).
+    """
+    n = len(successor)
+    ptr = successor.copy()
+    label = np.arange(n, dtype=np.int64)
+    rounds = int(np.ceil(np.log2(max(2, n)))) + 1
+    performed = 0
+    for _ in range(rounds):
+        performed += 1
+        new_label = np.minimum(label, label[ptr])
+        new_ptr = ptr[ptr]
+        if np.array_equal(new_label, label) and np.array_equal(new_ptr, ptr):
+            break
+        label, ptr = new_label, new_ptr
+    machine.counter.charge_adapter(
+        incurred_work=n * performed,
+        incurred_rounds=performed,
+        charged_work=2 * n,
+        charged_rounds=max(1, int(np.ceil(np.log2(max(2, n))))),
+        label="circuit_ids",
+    )
+    return label
+
+
+def vertex_levels_from_tree(
+    parent,
+    roots,
+    *,
+    machine: Optional[Machine] = None,
+    cost_model: SortCostModel = SortCostModel.CHARGED,
+    node_weight=None,
+    structure: Optional[EulerStructure] = None,
+) -> np.ndarray:
+    """Weighted depth of every node in a rooted forest given parent pointers.
+
+    ``parent[r] == r`` for roots (the ``roots`` mask is validated against
+    this).  With the default unit weights the result is the ordinary tree
+    level (root = 0).  With per-node ``node_weight`` the result at ``x`` is
+    the sum of weights over the ancestors of ``x`` *including x itself but
+    excluding the root* — exactly the quantity needed by the paper's
+    Algorithm *tree node labeling* Step 3 (count of unmarked ancestors,
+    weight = 1 - marked) as well as Step 1 (levels, weight = 1).
+
+    The paper computes these with the Euler-tour technique in ``O(log n)``
+    time and ``O(n)`` work; that is the cost charged here (one Euler
+    structure over the tree edges plus a list ranking and scans).  Passing
+    a prebuilt ``structure`` (from a previous call on the same forest)
+    reuses it and skips its construction cost.
+    """
+    m = _ensure_machine(machine)
+    par = as_int_array(parent, "parent")
+    root_mask = np.asarray(roots, dtype=bool)
+    n = len(par)
+    if len(root_mask) != n:
+        raise ValueError("roots mask must match parent length")
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if not np.array_equal(par[root_mask], np.flatnonzero(root_mask)):
+        raise ValueError("roots must satisfy parent[r] == r")
+
+    with m.span("vertex_levels"):
+        child = np.flatnonzero(~root_mask)
+        if len(child) == 0:
+            return np.zeros(n, dtype=np.int64)
+        if structure is None:
+            structure = build_euler_structure(
+                child, par[child], n, machine=m, cost_model=cost_model
+            )
+        # Arc a contributes +w(child) when walking away from the root
+        # (parent->child) and -w(child) when walking back.  In our arc
+        # numbering the first len(child) arcs are child->parent (negative)
+        # and their buddies are parent->child (positive).
+        n_arcs = structure.num_arcs
+        m.tick(n_arcs)
+        if node_weight is None:
+            per_child = np.ones(len(child), dtype=np.int64)
+        else:
+            w = np.asarray(node_weight, dtype=np.int64)
+            if len(w) != n:
+                raise ValueError("node_weight must have one entry per node")
+            per_child = w[child]
+        weight = np.concatenate([-per_child, per_child])
+        level = _levels_from_tour(structure, weight, root_mask, m)
+    return level
+
+
+def forest_structure(
+    parent,
+    roots,
+    *,
+    machine: Optional[Machine] = None,
+    cost_model: SortCostModel = SortCostModel.CHARGED,
+) -> Tuple[EulerStructure, np.ndarray]:
+    """Euler structure of a rooted forest plus each node's root.
+
+    Returns ``(structure, root_of)``.  ``root_of[x]`` is the root of the
+    tree containing ``x`` (roots map to themselves).  The root lookup is a
+    constant-round scatter/gather through the circuit ids (each tree's
+    doubled edges form exactly one Euler circuit), so the whole call stays
+    within ``O(log n)`` time and ``O(n)`` work plus one adapter-charged
+    sort for the adjacency build.
+    """
+    m = _ensure_machine(machine)
+    par = as_int_array(parent, "parent")
+    root_mask = np.asarray(roots, dtype=bool)
+    n = len(par)
+    child = np.flatnonzero(~root_mask)
+    structure = build_euler_structure(child, par[child], n, machine=m, cost_model=cost_model)
+    root_of = np.arange(n, dtype=np.int64)
+    if structure.num_arcs:
+        with m.span("forest_roots"):
+            m.tick(structure.num_arcs, rounds=2)
+            # arcs whose tail is a root broadcast that root through their circuit id
+            root_arcs = np.flatnonzero(root_mask[structure.tail])
+            per_circuit_root = np.full(structure.num_arcs, -1, dtype=np.int64)
+            per_circuit_root[structure.circuit_id[root_arcs]] = structure.tail[root_arcs]
+            # every non-root node has an outgoing (child->parent) arc: arc index == node position in `child`
+            root_of[child] = per_circuit_root[structure.circuit_id[np.arange(len(child))]]
+    return structure, root_of
+
+
+def tour_positions(
+    structure: EulerStructure,
+    start_mask: np.ndarray,
+    *,
+    machine: Optional[Machine] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Position of every arc along its Euler circuit, measured from the
+    circuit's designated start arc.
+
+    ``start_mask`` must flag exactly one arc per circuit.  Returns
+    ``(position, circuit_length)`` (both per arc).  Cost: one list ranking
+    plus O(1) linear-work rounds — ``O(log n)`` time, ``O(n)`` work.
+    """
+    m = _ensure_machine(machine)
+    n_arcs = structure.num_arcs
+    succ = structure.successor
+    circuit = structure.circuit_id
+    with m.span("tour_positions"):
+        # Break each circuit just before its start arc and rank to the tail.
+        m.tick(n_arcs)
+        broken = np.where(start_mask[succ], np.arange(n_arcs, dtype=np.int64), succ)
+        to_tail = optimal_rank(broken, machine=m)
+        # The start arc's distance-to-tail is (circuit length - 1); broadcast
+        # it through the circuit_id (an arc index, hence a valid address).
+        m.tick(n_arcs, rounds=2)
+        length_at = np.zeros(n_arcs, dtype=np.int64)
+        starts = np.flatnonzero(start_mask)
+        length_at[circuit[starts]] = to_tail[starts] + 1
+        circuit_length = length_at[circuit]
+        position = (circuit_length - 1) - to_tail
+    return position, circuit_length
+
+
+def _levels_from_tour(
+    structure: EulerStructure,
+    weight: np.ndarray,
+    root_mask: np.ndarray,
+    machine: Machine,
+) -> np.ndarray:
+    """Prefix-sum the +1/-1 arc weights along each Euler circuit.
+
+    The inclusive prefix value at the (unique) parent->child arc entering a
+    vertex is that vertex's depth.  All steps are O(1) linear-work rounds
+    apart from one list ranking and one segmented scan.
+    """
+    n_arcs = structure.num_arcs
+    circuit = structure.circuit_id
+    n_edges = n_arcs // 2
+
+    # Start arc of each circuit: the minimum arc index whose tail is a root.
+    # (Every circuit of a rooted tree's doubled graph contains the root's
+    # outgoing arcs, so such an arc exists whenever the tree has any edge.)
+    machine.tick(n_arcs, rounds=2)
+    candidate = np.where(root_mask[structure.tail], np.arange(n_arcs, dtype=np.int64), n_arcs)
+    best = np.full(n_arcs, n_arcs, dtype=np.int64)
+    np.minimum.at(best, circuit, candidate)
+    start_of_circuit = best[circuit]
+    start_mask = np.arange(n_arcs, dtype=np.int64) == start_of_circuit
+
+    position, _length = tour_positions(structure, start_mask, machine=machine)
+
+    # Lay the circuits out contiguously: offset per circuit via a scatter of
+    # circuit sizes (indexed by circuit_id, which is an arc index) and an
+    # exclusive prefix sum.
+    machine.tick(n_arcs, rounds=2)
+    sizes = np.zeros(n_arcs, dtype=np.int64)
+    starts = np.flatnonzero(start_mask)
+    sizes[circuit[starts]] = _length[starts]
+    offsets = prefix_sums(sizes, machine=machine, inclusive=False)
+    slot = offsets[circuit] + position
+
+    # Scatter weights into tour order and scan within each circuit.
+    machine.tick(n_arcs, rounds=2)
+    laid_weight = np.zeros(n_arcs, dtype=np.int64)
+    laid_weight[slot] = weight
+    seg_heads = np.zeros(n_arcs, dtype=bool)
+    seg_heads[0] = True
+    seg_heads[offsets[circuit[starts]]] = True
+    from .prefix_sums import segmented_prefix_sums  # local import avoids a cycle at load time
+
+    depth_in_order = segmented_prefix_sums(laid_weight, seg_heads, machine=machine)
+    depth_at_arc = depth_in_order[slot]
+
+    # The unique parent->child arc entering vertex v carries depth(v); those
+    # are the buddy arcs (indices >= n_edges).  Exclusive writes.
+    machine.tick(n_arcs)
+    n_nodes = len(root_mask)
+    level = np.zeros(n_nodes, dtype=np.int64)
+    down = np.arange(n_edges, n_arcs, dtype=np.int64)
+    level[structure.head[down]] = depth_at_arc[down]
+    level[root_mask] = 0
+    return level
+
+
+def mark_cycle_arcs(structure: EulerStructure, *, machine: Optional[Machine] = None) -> np.ndarray:
+    """Mark the arcs of the doubled pseudo-forest that lie on a cycle.
+
+    Per the paper's observation (Section 5): in the two Euler circuits of a
+    doubled pseudo-tree, a *cycle* edge and its buddy fall in different
+    circuits, while a *tree* edge and its buddy share a circuit.  So arc
+    ``a`` is a cycle arc iff ``circuit_id[a] != circuit_id[buddy[a]]``.
+    """
+    m = _ensure_machine(machine)
+    with m.span("mark_cycle_arcs"):
+        m.tick(structure.num_arcs)
+        return structure.circuit_id != structure.circuit_id[structure.buddy]

@@ -1,0 +1,121 @@
+"""Finding the position of the first 1 in a Boolean array on the CRCW PRAM.
+
+The paper's *Algorithm simple m.s.p.* compares, in each block, two
+overlapping strings of length ``2^i`` and keeps the smaller one.  The
+comparison reduces to finding the position of the first mismatch, i.e. the
+first 1 in a Boolean array, which Fich, Ragde and Wigderson showed can be
+done in ``O(1)`` time with a linear number of operations on the common
+CRCW PRAM (the classic sqrt-decomposition / doubly-logarithmic trick).
+
+On the simulator we implement the two-level sqrt decomposition explicitly:
+
+1. split the array into ``sqrt(n)`` blocks of ``sqrt(n)`` elements,
+2. find, by concurrent writes, which blocks contain a 1 (constant rounds,
+   linear work), then the first such block (all-pairs "knockout" over the
+   at most ``sqrt(n)`` candidate blocks — linear work),
+3. repeat inside the winning block.
+
+The charged cost is O(1) rounds and O(n) work, matching the bound the
+paper relies on; the recursion depth is 2 for every input size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..pram.machine import Machine
+
+
+def _ensure_machine(machine: Optional[Machine]) -> Machine:
+    return machine if machine is not None else Machine.default()
+
+
+def _knockout_minimum(candidates: np.ndarray, machine: Machine) -> int:
+    """Minimum of at most sqrt(n) candidate indices via the all-pairs trick.
+
+    With k candidates, k^2 processors compare every ordered pair and mark
+    the larger one as "not minimal"; the unmarked candidate is the minimum.
+    Constant rounds, O(k^2) work — which is O(n) when k <= sqrt(n).
+    """
+    k = len(candidates)
+    if k == 0:
+        return -1
+    machine.tick(k * k, rounds=2)
+    # The knockout outcome is by construction the numerical minimum.
+    return int(candidates.min())
+
+
+def first_one(flags, *, machine: Optional[Machine] = None) -> int:
+    """Index of the first true entry of ``flags`` (or -1 if none).
+
+    Charged cost: O(1) parallel rounds, O(n) work (see module docstring).
+    """
+    m = _ensure_machine(machine)
+    arr = np.asarray(flags, dtype=bool)
+    n = len(arr)
+    if n == 0:
+        return -1
+    with m.span("first_one"):
+        if n <= 4:
+            m.tick(n)
+            hits = np.flatnonzero(arr)
+            return int(hits[0]) if len(hits) else -1
+        block = int(np.ceil(np.sqrt(n)))
+        num_blocks = (n + block - 1) // block
+        # Level 1: which blocks contain a 1 (one concurrent-write round).
+        m.tick(n)
+        padded = np.zeros(num_blocks * block, dtype=bool)
+        padded[:n] = arr
+        by_block = padded.reshape(num_blocks, block)
+        block_has_one = by_block.any(axis=1)
+        candidate_blocks = np.flatnonzero(block_has_one)
+        if len(candidate_blocks) == 0:
+            return -1
+        first_block = _knockout_minimum(candidate_blocks, m)
+        # Level 2: first 1 inside the winning block, same trick.
+        inner = by_block[first_block]
+        m.tick(block)
+        inner_candidates = np.flatnonzero(inner)
+        offset = _knockout_minimum(inner_candidates, m)
+        return int(first_block * block + offset)
+
+
+def first_difference(a, b, *, machine: Optional[Machine] = None) -> int:
+    """Index of the first position where ``a`` and ``b`` differ (-1 if equal).
+
+    One elementwise comparison round plus :func:`first_one` — O(1) rounds,
+    O(n) work.  This is the primitive used to compare two candidate
+    rotations in *Algorithm simple m.s.p.* in constant time.
+    """
+    m = _ensure_machine(machine)
+    aa = np.asarray(a)
+    bb = np.asarray(b)
+    if len(aa) != len(bb):
+        raise ValueError("arrays must have equal length for first_difference")
+    if len(aa) == 0:
+        return -1
+    with m.span("first_difference"):
+        m.tick(len(aa))
+        diff = aa != bb
+        return first_one(diff, machine=m)
+
+
+def lexicographic_compare(a, b, *, machine: Optional[Machine] = None) -> int:
+    """Three-way lexicographic comparison of equal-length sequences.
+
+    Returns -1, 0 or 1.  O(1) rounds, O(n) work — the "any two strings can
+    be compared in O(1) time with linear work" fact used by Step 5 of
+    *Algorithm sorting strings* (Cole's mergesort over the shortened
+    strings).
+    """
+    m = _ensure_machine(machine)
+    aa = np.asarray(a)
+    bb = np.asarray(b)
+    if len(aa) != len(bb):
+        raise ValueError("lexicographic_compare requires equal-length sequences")
+    pos = first_difference(aa, bb, machine=m)
+    if pos < 0:
+        return 0
+    return -1 if aa[pos] < bb[pos] else 1

@@ -1,0 +1,244 @@
+"""Parallel integer sorting with an explicit cost adapter.
+
+The paper uses, as a black box, the deterministic parallel integer-sorting
+algorithm of Bhatt, Diks, Hagerup, Prasad, Radzik and Saxena (Information
+and Computation 94, 1991), which sorts ``n`` integers drawn from a
+polynomial range in ``O(log n / log log n)`` time with ``O(n log log n)``
+operations on the CRCW PRAM.  That single black box is the *only* source
+of super-linear work in the paper's algorithm (its Section 1 says so
+explicitly, and experiment E9 verifies it on the simulator).
+
+Our realisation is a stable LSD radix sort over base-``n`` digits executed
+as a sequence of counting-sort passes.  Each pass is expressed with the
+standard PRAM recipe (histogram by prefix sums, then scatter), so it runs
+in ``O(log n)`` rounds and ``O(n)`` work per pass; with
+``O(range / log n)``-bounded digits there are ``O(1)`` passes for the
+ranges the paper needs (pairs of codes in ``[0, n)``).
+
+Because the literal round count of the pure-Python realisation differs
+from the published Bhatt et al. bound, the sort charges its cost through a
+*cost adapter* (see :class:`SortCostModel`): the machine records both the
+incurred cost and the published bound, and reports ``charged_work``
+accordingly.  The default charges the published bound, which is what the
+paper's Theorem 5.1 assumes; benchmarks can flip to ``incurred`` to see
+the difference (E9 ablation).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..pram.machine import Machine
+from ..pram.metrics import loglog_work_bound, sort_time_bound_bhatt
+from ..types import as_int_array
+from .prefix_sums import prefix_sums
+
+
+class SortCostModel(enum.Enum):
+    """Which cost to charge for an integer-sort call."""
+
+    #: charge the published Bhatt et al. bound (O(n log log n) work,
+    #: O(log n / log log n) time) — the paper's assumption.
+    CHARGED = "charged"
+    #: charge the operations the counting/radix passes actually performed.
+    INCURRED = "incurred"
+
+
+def _ensure_machine(machine: Optional[Machine]) -> Machine:
+    return machine if machine is not None else Machine.default()
+
+
+def _counting_sort_pass(
+    keys: np.ndarray,
+    order: np.ndarray,
+    num_buckets: int,
+) -> Tuple[np.ndarray, int, int]:
+    """One stable counting-sort pass applied to ``order`` by ``keys[order]``.
+
+    Returns ``(new_order, rounds, work)`` where rounds/work describe the
+    PRAM cost of the pass when implemented with prefix sums: a histogram
+    (O(n) work), a scan over the buckets (O(num_buckets) work, O(log)
+    rounds), and a stable scatter (O(n) work).
+    """
+    n = len(order)
+    digit = keys[order]
+    counts = np.bincount(digit, minlength=num_buckets)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    # Stable scatter: within a bucket keep current relative order.  NumPy's
+    # stable argsort over the digit realises exactly that placement.
+    new_order = order[np.argsort(digit, kind="stable")]
+    rounds = 2 * int(np.ceil(np.log2(max(2, num_buckets)))) + 3
+    work = 2 * n + num_buckets
+    return new_order, rounds, work
+
+
+def sort_by_keys(
+    keys,
+    *,
+    machine: Optional[Machine] = None,
+    key_range: Optional[int] = None,
+    cost_model: SortCostModel = SortCostModel.CHARGED,
+    stable: bool = True,
+) -> np.ndarray:
+    """Return the permutation that stably sorts ``keys`` (single key per item).
+
+    ``keys`` must be non-negative integers.  ``key_range`` (exclusive upper
+    bound) defaults to ``max(keys) + 1``.  The permutation ``perm``
+    satisfies ``keys[perm]`` is non-decreasing, and equal keys keep their
+    input order.
+
+    Cost: charged through the adapter described in the module docstring.
+    """
+    m = _ensure_machine(machine)
+    k = as_int_array(keys, "keys")
+    n = len(k)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if k.min() < 0:
+        raise ValueError("keys must be non-negative for integer sorting")
+    rng = int(key_range) if key_range is not None else int(k.max()) + 1
+    if rng <= 0:
+        rng = 1
+    if k.max() >= rng:
+        raise ValueError("keys exceed the declared key_range")
+
+    # Radix decomposition in base max(2, n): the paper's ranges are always
+    # polynomial in n, so the number of passes is a small constant.
+    base = max(2, n)
+    order = np.arange(n, dtype=np.int64)
+    incurred_rounds = 0
+    incurred_work = 0
+    remaining = rng
+    shift_keys = k.copy()
+    passes = 0
+    while True:
+        digit = shift_keys % base
+        order, rounds, work = _counting_sort_pass(digit, order, min(base, rng))
+        incurred_rounds += rounds
+        incurred_work += work
+        passes += 1
+        shift_keys = shift_keys // base
+        remaining = (remaining + base - 1) // base
+        if remaining <= 1:
+            break
+        # re-gather keys in the new order for the next stable pass
+        incurred_work += n
+        incurred_rounds += 1
+
+    if not stable:
+        # Nothing extra to do: the stable result is also a valid unstable one.
+        pass
+
+    if cost_model is SortCostModel.CHARGED:
+        m.counter.charge_adapter(
+            incurred_work=incurred_work,
+            incurred_rounds=incurred_rounds,
+            charged_work=loglog_work_bound(n),
+            charged_rounds=sort_time_bound_bhatt(n),
+            label="integer_sort",
+        )
+    else:
+        with m.span("integer_sort"):
+            m.tick(incurred_work, rounds=incurred_rounds)
+    return order
+
+
+def sort_pairs(
+    first,
+    second,
+    *,
+    machine: Optional[Machine] = None,
+    key_range: Optional[int] = None,
+    cost_model: SortCostModel = SortCostModel.CHARGED,
+) -> np.ndarray:
+    """Return the permutation that sorts pairs ``(first[i], second[i])``
+    lexicographically (stable).
+
+    Both components must be non-negative integers below ``key_range``
+    (default: ``max over both + 1``).  Pairs are the unit of work in the
+    paper's *efficient m.s.p.* and *sorting strings* algorithms (Step 3 of
+    each): pairs are sorted and replaced by their ranks.
+    """
+    m = _ensure_machine(machine)
+    a = as_int_array(first, "first")
+    b = as_int_array(second, "second")
+    if len(a) != len(b):
+        raise ValueError("first and second must have the same length")
+    n = len(a)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if a.min() < 0 or b.min() < 0:
+        raise ValueError("pair components must be non-negative")
+    rng = int(key_range) if key_range is not None else int(max(a.max(), b.max())) + 1
+    if max(int(a.max()), int(b.max())) >= rng:
+        raise ValueError("pair components exceed the declared key_range")
+    if rng <= (1 << 31):
+        # Lexicographic order == order of the combined key first * rng + second,
+        # which stays within range rng^2 (polynomial), exactly the situation
+        # the Bhatt et al. routine is designed for.
+        combined = a * rng + b
+        return sort_by_keys(
+            combined, machine=m, key_range=rng * rng, cost_model=cost_model, stable=True
+        )
+    # For very large code ranges the combined key would overflow int64; run
+    # the pair sort as two stable passes (least-significant component first),
+    # which is the same LSD radix idea with the same asymptotic cost.
+    perm_b = sort_by_keys(b, machine=m, key_range=rng, cost_model=cost_model, stable=True)
+    perm_a = sort_by_keys(a[perm_b], machine=m, key_range=rng, cost_model=cost_model, stable=True)
+    return perm_b[perm_a]
+
+
+def rank_pairs(
+    first,
+    second,
+    *,
+    machine: Optional[Machine] = None,
+    key_range: Optional[int] = None,
+    cost_model: SortCostModel = SortCostModel.CHARGED,
+) -> Tuple[np.ndarray, int]:
+    """Dense ranks of pairs under lexicographic order.
+
+    Returns ``(ranks, num_distinct)`` where equal pairs receive equal ranks
+    and ranks are consecutive integers starting at 1 (matching the paper's
+    Example 3.4, where the sorted distinct pairs are numbered 1, 2, 3, ...).
+
+    Cost: one pair sort plus an ``O(log n)``-round ``O(n)``-work
+    neighbour-comparison / prefix-sum pass.
+    """
+    m = _ensure_machine(machine)
+    a = as_int_array(first, "first")
+    b = as_int_array(second, "second")
+    n = len(a)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    perm = sort_pairs(a, b, machine=m, key_range=key_range, cost_model=cost_model)
+    with m.span("rank_pairs"):
+        m.tick(n)
+        sa, sb = a[perm], b[perm]
+        new_group = np.empty(n, dtype=np.int64)
+        new_group[0] = 1
+        new_group[1:] = (sa[1:] != sa[:-1]) | (sb[1:] != sb[:-1])
+        group_rank_sorted = prefix_sums(new_group, machine=m, inclusive=True)
+        m.tick(n)
+        ranks = np.empty(n, dtype=np.int64)
+        ranks[perm] = group_rank_sorted
+    return ranks, int(group_rank_sorted[-1])
+
+
+def rank_values(
+    values,
+    *,
+    machine: Optional[Machine] = None,
+    key_range: Optional[int] = None,
+    cost_model: SortCostModel = SortCostModel.CHARGED,
+) -> Tuple[np.ndarray, int]:
+    """Dense ranks (starting at 1) of single integer keys.
+
+    Convenience wrapper over :func:`rank_pairs` with a constant second key.
+    """
+    v = as_int_array(values, "values")
+    zeros = np.zeros(len(v), dtype=np.int64)
+    return rank_pairs(v, zeros, machine=machine, key_range=key_range, cost_model=cost_model)

@@ -1,0 +1,134 @@
+"""Generic pointer jumping (pointer doubling) on successor arrays.
+
+Pointer jumping is the canonical ``O(log n)``-round technique on the PRAM:
+each node repeatedly replaces its successor pointer by its successor's
+successor, so after ``k`` rounds each node points ``2^k`` hops ahead.  It
+is used here for
+
+* computing distances to a marked set of nodes (e.g. distance of a tree
+  node to the cycle it hangs off),
+* finding, for each node, the first marked node on its successor path
+  (its "root" on the cycle), and
+* the Wyllie variant of list ranking (see :mod:`repro.primitives.list_ranking`).
+
+All functions charge ``O(n)`` work per round, ``O(log n)`` rounds — i.e.
+``O(n log n)`` work.  Where the paper needs the work-optimal variant
+(list ranking), the sparse-ruling-set algorithm in
+:mod:`repro.primitives.list_ranking` is used instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..pram.machine import Machine
+from ..types import as_int_array
+
+
+def _ensure_machine(machine: Optional[Machine]) -> Machine:
+    return machine if machine is not None else Machine.default()
+
+
+def jump_to_fixed_point(successor, *, machine: Optional[Machine] = None, max_rounds: Optional[int] = None) -> np.ndarray:
+    """Iterate ``succ <- succ[succ]`` until no pointer changes.
+
+    For a successor array whose functional graph is a forest of trees
+    hanging off self-loops (``succ[r] == r`` for roots), the fixed point
+    maps every node to its root in ``O(log depth)`` rounds.
+
+    For graphs containing genuine cycles the iteration is still well
+    defined but does not reach a fixed point; ``max_rounds`` (default
+    ``ceil(log2 n) + 1``) bounds the number of rounds in that case.
+    """
+    m = _ensure_machine(machine)
+    succ = as_int_array(successor, "successor").copy()
+    n = len(succ)
+    if n == 0:
+        return succ
+    if max_rounds is None:
+        max_rounds = int(np.ceil(np.log2(max(2, n)))) + 1
+    with m.span("pointer_jumping"):
+        for _ in range(max_rounds):
+            m.tick(n)
+            nxt = succ[succ]
+            if np.array_equal(nxt, succ):
+                break
+            succ = nxt
+    return succ
+
+
+def distance_to_marked(
+    successor,
+    marked,
+    *,
+    machine: Optional[Machine] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """For each node, the distance to (and identity of) the first marked node
+    on its successor path.
+
+    Marked nodes report distance 0 and themselves.  Every successor path
+    must reach a marked node within ``n`` steps (true in a functional graph
+    whenever the marked set includes at least one node of every cycle),
+    otherwise a ``ValueError`` is raised.
+
+    Returns ``(distance, target)``.  Cost: ``O(log n)`` rounds, ``O(n log n)``
+    work (pointer doubling carrying a distance annotation).
+    """
+    m = _ensure_machine(machine)
+    succ = as_int_array(successor, "successor")
+    mark = np.asarray(marked, dtype=bool)
+    n = len(succ)
+    if len(mark) != n:
+        raise ValueError("marked must have the same length as successor")
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+
+    # Invariant maintained by the doubling loop: ptr[x] = f^{dist[x]}(x) and
+    # dist[x] never exceeds the true distance to the first marked node,
+    # because pointers freeze (self-loop, dist 0) once they sit on a marked
+    # node and a node only advances while its pointer is still unmarked.
+    idx = np.arange(n, dtype=np.int64)
+    ptr = np.where(mark, idx, succ)
+    dist = np.where(mark, 0, 1).astype(np.int64)
+
+    max_rounds = int(np.ceil(np.log2(max(2, n)))) + 1
+    with m.span("distance_to_marked"):
+        m.tick(n)  # initialisation
+        for _ in range(max_rounds):
+            advance = ~mark & ~mark[ptr]
+            if not advance.any():
+                break
+            m.tick(n)
+            dist = np.where(advance, dist + dist[ptr], dist)
+            ptr = np.where(advance, ptr[ptr], ptr)
+        if not (mark | mark[ptr]).all():
+            raise ValueError("some successor paths never reach a marked node")
+    target = np.where(mark, idx, ptr)
+    dist = np.where(mark, 0, dist)
+    return dist, target
+
+
+def kth_successor(successor, k: int, *, machine: Optional[Machine] = None) -> np.ndarray:
+    """Compute ``f^k(x)`` for every ``x`` by repeated squaring of the function.
+
+    Cost: ``O(log k)`` rounds of ``O(n)`` work each.
+    """
+    m = _ensure_machine(machine)
+    succ = as_int_array(successor, "successor")
+    n = len(succ)
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    result = np.arange(n, dtype=np.int64)
+    power = succ.copy()
+    kk = k
+    with m.span("kth_successor"):
+        while kk:
+            m.tick(n)
+            if kk & 1:
+                result = power[result]
+            kk >>= 1
+            if kk:
+                power = power[power]
+    return result

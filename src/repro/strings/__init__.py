@@ -1,0 +1,74 @@
+"""String subproblems of Section 3.1: circular-string canonisation and
+lexicographic string sorting.
+
+Public entry points
+-------------------
+
+* :func:`efficient_msp` / :func:`simple_msp` / :func:`sequential_msp` —
+  minimal starting point of a circular string (the paper's new algorithm,
+  its O(n log n)-work tournament, and the sequential Booth/Shiloach
+  baselines).
+* :func:`canonical_rotation` — least rotation of a circular string.
+* :func:`sort_strings` and its baselines — lexicographic sorting of a list
+  of variable-length strings.
+* period utilities (smallest repeating prefix) used by both.
+"""
+
+from .alphabet import (
+    BLANK,
+    concatenate_with_offsets,
+    densify,
+    from_text,
+    split_by_offsets,
+    to_text,
+    validate_string,
+)
+from .msp_efficient import canonical_rotation, efficient_msp
+from .msp_sequential import booth_msp, duval_msp, naive_msp, sequential_msp
+from .msp_simple import simple_msp
+from .pair_encoding import circular_pair_heads, circular_pairs, linear_pairs, rank_replace
+from .period import (
+    failure_function,
+    is_rotation,
+    smallest_circular_period,
+    smallest_period,
+    smallest_period_parallel,
+    smallest_repeating_prefix_length,
+)
+from .string_sorting import (
+    sort_strings,
+    sort_strings_comparison,
+    sort_strings_doubling,
+    sort_strings_sequential,
+)
+
+__all__ = [
+    "BLANK",
+    "validate_string",
+    "densify",
+    "from_text",
+    "to_text",
+    "concatenate_with_offsets",
+    "split_by_offsets",
+    "failure_function",
+    "smallest_period",
+    "smallest_repeating_prefix_length",
+    "smallest_circular_period",
+    "smallest_period_parallel",
+    "is_rotation",
+    "naive_msp",
+    "booth_msp",
+    "duval_msp",
+    "sequential_msp",
+    "simple_msp",
+    "efficient_msp",
+    "canonical_rotation",
+    "circular_pair_heads",
+    "circular_pairs",
+    "linear_pairs",
+    "rank_replace",
+    "sort_strings",
+    "sort_strings_doubling",
+    "sort_strings_comparison",
+    "sort_strings_sequential",
+]

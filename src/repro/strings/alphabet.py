@@ -1,0 +1,99 @@
+"""Alphabet handling for the string algorithms.
+
+The paper's string subproblems operate over an alphabet of size polynomial
+in ``n`` (so integer sorting applies).  This module provides
+
+* validation/normalisation of symbol arrays,
+* dense re-ranking of an arbitrary integer alphabet into ``1..sigma``
+  (the paper's pair-ranking steps always produce such dense codes), and
+* the blank symbol ``#`` convention of *Algorithm sorting strings* Step 2:
+  the blank precedes every real symbol, so internally real symbols are
+  shifted to ``>= 1`` and ``0`` is reserved for the blank.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidStringError
+from ..pram.machine import Machine
+from ..primitives.integer_sort import SortCostModel, rank_values
+from ..types import as_int_array
+
+#: The blank symbol used for padding odd-length strings with a trailing
+#: half-pair; it compares below every real symbol.
+BLANK = 0
+
+
+def validate_string(symbols, *, name: str = "string", allow_empty: bool = False) -> np.ndarray:
+    """Validate a symbol sequence and return it as an ``int64`` array.
+
+    Symbols must be non-negative integers.  Raises
+    :class:`~repro.errors.InvalidStringError` on violations.
+    """
+    try:
+        arr = as_int_array(symbols, name)
+    except ValueError as exc:
+        raise InvalidStringError(str(exc)) from exc
+    if not allow_empty and len(arr) == 0:
+        raise InvalidStringError(f"{name} must be non-empty")
+    if len(arr) and arr.min() < 0:
+        raise InvalidStringError(f"{name} must contain non-negative symbols")
+    return arr
+
+
+def from_text(text: str) -> np.ndarray:
+    """Encode a Python string as symbol codes (Unicode code points + 1).
+
+    The +1 keeps code 0 free for the blank symbol.
+    """
+    return np.frombuffer(text.encode("utf-32-le"), dtype=np.uint32).astype(np.int64) + 1
+
+
+def to_text(symbols) -> str:
+    """Inverse of :func:`from_text` (best effort; blanks map to '#')."""
+    arr = validate_string(symbols, allow_empty=True)
+    chars = []
+    for code in arr.tolist():
+        chars.append("#" if code == BLANK else chr(code - 1))
+    return "".join(chars)
+
+
+def densify(
+    symbols,
+    *,
+    machine: Optional[Machine] = None,
+    cost_model: SortCostModel = SortCostModel.CHARGED,
+) -> Tuple[np.ndarray, int]:
+    """Re-rank symbols into dense codes ``1..sigma`` preserving order.
+
+    Returns ``(dense, sigma)``.  Cost: one integer-sort based ranking.
+    Dense codes keep every subsequent sorting pass within range ``O(n)``,
+    which is what the ``n^{O(1)}`` alphabet assumption buys the paper.
+    """
+    arr = validate_string(symbols, allow_empty=True)
+    if len(arr) == 0:
+        return arr.copy(), 0
+    ranks, sigma = rank_values(arr, machine=machine, cost_model=cost_model)
+    return ranks, sigma
+
+
+def concatenate_with_offsets(strings: Sequence[Sequence[int]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate a list of strings into one flat array plus offsets.
+
+    Returns ``(flat, offsets)`` with ``len(offsets) == len(strings) + 1``;
+    string ``i`` occupies ``flat[offsets[i]:offsets[i+1]]``.  Empty strings
+    are allowed (they sort before everything else).
+    """
+    arrays: List[np.ndarray] = [validate_string(s, allow_empty=True) for s in strings]
+    lengths = np.array([len(a) for a in arrays], dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    flat = np.concatenate(arrays) if arrays else np.zeros(0, dtype=np.int64)
+    return flat, offsets
+
+
+def split_by_offsets(flat: np.ndarray, offsets: np.ndarray) -> List[np.ndarray]:
+    """Inverse of :func:`concatenate_with_offsets`."""
+    return [flat[offsets[i]: offsets[i + 1]] for i in range(len(offsets) - 1)]

@@ -1,0 +1,150 @@
+"""Sequential baselines for the minimal-starting-point (m.s.p.) problem.
+
+The m.s.p. of a circular string is the rotation index whose linear reading
+is lexicographically least (also called the *canonical rotation* or
+*least circular substring*).  The paper cites Booth's and Shiloach's
+linear-time sequential algorithms as the classical solutions; both are
+implemented here and used
+
+* as oracles in the correctness tests of the parallel algorithms, and
+* as the sequential comparators in experiments E3 (work comparison).
+
+:func:`booth_msp` is the failure-function-based linear-time algorithm;
+:func:`duval_msp` uses Duval's Lyndon-factorisation approach (also linear
+and in practice slightly faster); :func:`naive_msp` is the quadratic
+reference used only on tiny inputs by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..pram.machine import Machine
+from ..types import MSPResult
+from .alphabet import validate_string
+from .period import smallest_circular_period
+
+
+def naive_msp(symbols) -> int:
+    """Reference O(n^2) m.s.p.: compare every rotation explicitly.
+
+    Returns the smallest index among minimal rotations (ties broken toward
+    the smaller index, matching the parallel algorithms' convention).
+    """
+    s = validate_string(symbols)
+    n = len(s)
+    doubled = np.concatenate([s, s])
+    best = 0
+    for j in range(1, n):
+        a = doubled[j: j + n]
+        b = doubled[best: best + n]
+        cmp = _compare(a, b)
+        if cmp < 0:
+            best = j
+    return best
+
+
+def _compare(a: np.ndarray, b: np.ndarray) -> int:
+    neq = a != b
+    if not neq.any():
+        return 0
+    i = int(np.argmax(neq))
+    return -1 if a[i] < b[i] else 1
+
+
+def booth_msp(symbols) -> int:
+    """Booth's linear-time least-rotation algorithm (failure-function based).
+
+    Runs over the doubled string maintaining the failure function of the
+    best rotation found so far; O(n) time, O(n) space.
+    """
+    s = validate_string(symbols)
+    n = len(s)
+    if n == 1:
+        return 0
+    doubled = np.concatenate([s, s])
+    fail = np.full(2 * n, -1, dtype=np.int64)
+    k = 0  # least starting point so far
+    for j in range(1, 2 * n):
+        sj = doubled[j]
+        i = fail[j - k - 1]
+        while i != -1 and sj != doubled[k + i + 1]:
+            if sj < doubled[k + i + 1]:
+                k = j - i - 1
+            i = fail[i]
+        if sj != doubled[k + i + 1]:
+            if sj < doubled[k + i + 1]:  # i == -1 here
+                k = j
+            fail[j - k] = -1
+        else:
+            fail[j - k] = i + 1
+    # Booth's k is *a* minimal starting point; normalise to the smallest
+    # index among minimal rotations for a deterministic convention.
+    period = smallest_circular_period(s)
+    return int(k % period)
+
+
+def duval_msp(symbols) -> int:
+    """Least-rotation via Duval-style three-pointer scan ("Zhou/Booth-lite").
+
+    The classic two-candidate elimination scan over the doubled string:
+    O(n) time, O(1) extra space.  Returns the smallest minimal index.
+    """
+    s = validate_string(symbols)
+    n = len(s)
+    doubled = np.concatenate([s, s])
+    i, j, k = 0, 1, 0
+    while i < n and j < n and k < n:
+        a = doubled[i + k]
+        b = doubled[j + k]
+        if a == b:
+            k += 1
+            continue
+        if a > b:
+            i = max(i + k + 1, j)
+        else:
+            j = max(j + k + 1, i)
+        if i == j:
+            j += 1
+        k = 0
+    start = min(i, j)
+    period = smallest_circular_period(s)
+    return int(start % period)
+
+
+def sequential_msp(
+    symbols,
+    *,
+    machine: Optional[Machine] = None,
+    algorithm: str = "booth",
+) -> MSPResult:
+    """Sequential m.s.p. wrapped in the library's result type.
+
+    ``algorithm`` is one of ``"booth"``, ``"duval"`` or ``"naive"``.  The
+    (single-processor) cost charged is ``time == work == c*n`` for the
+    linear algorithms and ``c*n^2`` for the naive one, so sequential and
+    parallel runs can be compared on the same axes in E3.
+    """
+    m = machine if machine is not None else Machine.default()
+    s = validate_string(symbols)
+    n = len(s)
+    if algorithm == "booth":
+        idx, charge = booth_msp(s), 2 * n
+    elif algorithm == "duval":
+        idx, charge = duval_msp(s), 2 * n
+    elif algorithm == "naive":
+        idx, charge = naive_msp(s), n * n
+    else:
+        raise ValueError(f"unknown sequential m.s.p. algorithm {algorithm!r}")
+    with m.span(f"msp_sequential_{algorithm}"):
+        m.tick(charge, rounds=charge)
+    rotation = np.concatenate([s[idx:], s[:idx]])
+    return MSPResult(
+        index=int(idx),
+        rotation=rotation,
+        period=smallest_circular_period(s),
+        algorithm=f"sequential-{algorithm}",
+        cost=m.counter.summary(),
+    )

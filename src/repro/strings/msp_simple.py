@@ -1,0 +1,128 @@
+"""*Algorithm simple m.s.p.* — the O(n log n)-work tournament (Section 3.1).
+
+The algorithm keeps one candidate starting position per block of size
+``2^i`` and, at stage ``i``, compares the two candidates inherited from the
+block's two half-blocks by comparing the circular substrings of length
+``2^i`` starting at each.  The strictly smaller substring's candidate
+survives; on a tie the earlier candidate survives (Lemma 3.3 — the later
+one cannot be the unique m.s.p. of a non-repeating string).
+
+Each stage costs O(1) rounds (constant-time string comparison via the
+first-difference CRCW primitive) and at most ``n`` operations, so the whole
+tournament runs in ``O(log n)`` time with ``O(n log n)`` work — this is the
+baseline that *Algorithm efficient m.s.p.* improves on and the finishing
+step it applies to the shrunken string.
+
+The implementation assumes (and, by default, enforces by reduction) a
+non-repeating circular string; the public wrapper :func:`simple_msp`
+reduces a repeating input to its smallest repeating prefix first, as the
+paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..pram.machine import Machine
+from ..types import MSPResult
+from .alphabet import validate_string
+from .period import smallest_circular_period, smallest_period_parallel
+
+
+def _ensure_machine(machine: Optional[Machine]) -> Machine:
+    return machine if machine is not None else Machine.default()
+
+
+def _tournament_msp(s: np.ndarray, candidates: np.ndarray, machine: Machine) -> int:
+    """Run the block tournament over the given candidate positions.
+
+    ``candidates`` must be sorted ascending.  The tournament pads the
+    candidate list to the next power of two with sentinels (eliminated
+    immediately), reproducing the paper's convenience assumption n = 2^k
+    without restricting the input length.
+    """
+    n = len(s)
+    doubled = np.concatenate([s, s])
+    cands = candidates.astype(np.int64)
+    stage = 0
+    with machine.span("simple_msp"):
+        while len(cands) > 1:
+            stage += 1
+            length = min(n, 1 << stage)
+            # Pair up consecutive candidates; an unpaired trailing candidate
+            # advances for free.
+            k = len(cands) // 2
+            left = cands[0: 2 * k: 2]
+            right = cands[1: 2 * k: 2]
+            # Compare the circular substrings of the current length starting
+            # at each pair of candidates.  One gather per side plus a
+            # constant-round first-difference — charged as O(1) rounds with
+            # work equal to the number of characters touched.
+            machine.tick(2 * k * length, rounds=3)
+            gather = np.arange(length, dtype=np.int64)
+            left_strings = doubled[left[:, None] + gather[None, :]]
+            right_strings = doubled[right[:, None] + gather[None, :]]
+            neq = left_strings != right_strings
+            any_diff = neq.any(axis=1)
+            first_diff = np.where(any_diff, np.argmax(neq, axis=1), 0)
+            rows = np.arange(k)
+            left_smaller = np.where(
+                any_diff,
+                left_strings[rows, first_diff] < right_strings[rows, first_diff],
+                True,  # tie: keep the earlier candidate (Lemma 3.3)
+            )
+            winners = np.where(left_smaller, left, right)
+            if len(cands) % 2:
+                winners = np.concatenate([winners, cands[-1:]])
+            machine.tick(len(winners))
+            cands = winners
+    return int(cands[0])
+
+
+def simple_msp(
+    symbols,
+    *,
+    machine: Optional[Machine] = None,
+    reduce_period: bool = True,
+) -> MSPResult:
+    """Minimal starting point of a circular string via the simple tournament.
+
+    Parameters
+    ----------
+    symbols:
+        The circular string (non-negative integer codes).
+    machine:
+        PRAM simulator to charge; a fresh arbitrary-CRCW machine is used
+        when omitted.
+    reduce_period:
+        When true (default) a repeating input is first reduced to its
+        smallest repeating prefix (the m.s.p. of the prefix is an m.s.p.
+        of the whole string, and the smallest one because the prefix length
+        divides every other minimal index's offset).
+    """
+    m = _ensure_machine(machine)
+    s = validate_string(symbols)
+    n = len(s)
+    if n == 1:
+        m.tick(1)
+        return MSPResult(index=0, rotation=s.copy(), period=1, algorithm="simple-msp", cost=m.counter.summary())
+
+    period = smallest_circular_period(s)
+    work_string = s
+    if reduce_period and period < n:
+        smallest_period_parallel(s, machine=m)  # charge the parallel reduction
+        work_string = s[:period]
+
+    candidates = np.arange(len(work_string), dtype=np.int64)
+    m.tick(len(work_string))  # step 1: mark all positions as candidates
+    index = _tournament_msp(work_string, candidates, m)
+    rotation = np.concatenate([s[index:], s[:index]])
+    return MSPResult(
+        index=index,
+        rotation=rotation,
+        period=period,
+        algorithm="simple-msp",
+        cost=m.counter.summary(),
+    )

@@ -1,0 +1,28 @@
+"""Shared fixtures for the repro test suite."""
+import numpy as np
+import pytest
+
+from repro.pram import Machine, arbitrary_crcw
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG shared by randomized tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def machine():
+    """A fresh default (arbitrary CRCW) machine per test."""
+    return Machine(arbitrary_crcw())
+
+
+def random_open_list(rng, n):
+    """Successor array of a random open list plus expected rank-to-tail."""
+    perm = rng.permutation(n)
+    succ = np.empty(n, dtype=np.int64)
+    succ[perm[:-1]] = perm[1:]
+    succ[perm[-1]] = perm[-1]
+    expect = np.empty(n, dtype=np.int64)
+    expect[perm] = np.arange(n)[::-1]
+    return succ, expect, perm

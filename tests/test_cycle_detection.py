@@ -1,0 +1,62 @@
+"""Tests for Algorithm finding cycle nodes (Section 5)."""
+import numpy as np
+import pytest
+
+from repro.graphs.functional_graph import analyze_structure
+from repro.graphs.generators import random_function, random_permutation, tree_heavy
+from repro.pram import Machine
+from repro.partition import find_cycle_nodes, find_cycle_nodes_doubling
+
+
+@pytest.mark.parametrize("gen", [random_function, random_permutation, tree_heavy])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_matches_sequential_structure(gen, seed):
+    f, _ = gen(120, seed=seed)
+    expect = analyze_structure(f).on_cycle
+    res = find_cycle_nodes(f)
+    assert np.array_equal(res.on_cycle, expect)
+    assert np.array_equal(find_cycle_nodes_doubling(f), expect)
+
+
+def test_cycle_key_identifies_cycles():
+    f, _ = random_permutation(80, seed=7)
+    st = analyze_structure(f)
+    res = find_cycle_nodes(f)
+    # nodes share a key iff they share a cycle
+    for cid in range(st.num_cycles):
+        members = np.flatnonzero(st.cycle_id == cid)
+        keys = set(res.cycle_key[members].tolist())
+        assert len(keys) == 1
+    keys_per_cycle = [set(res.cycle_key[st.cycle_id == c].tolist()).pop() for c in range(st.num_cycles)]
+    assert len(set(keys_per_cycle)) == st.num_cycles
+
+
+def test_self_loops_and_two_cycles():
+    f = np.array([0, 1, 3, 2, 2])
+    res = find_cycle_nodes(f)
+    assert res.on_cycle.tolist() == [True, True, True, True, False]
+
+
+def test_single_node():
+    res = find_cycle_nodes(np.array([0]))
+    assert res.on_cycle.tolist() == [True]
+
+
+def test_long_tail_into_tiny_cycle():
+    n = 300
+    f = np.maximum(np.arange(n) - 1, 0)
+    f[0] = 0
+    res = find_cycle_nodes(f)
+    assert res.on_cycle.tolist() == [True] + [False] * (n - 1)
+
+
+def test_doubling_baseline_costs_more_work():
+    # the Euler-tour route is charged at a linear-work bound while the
+    # doubling baseline really performs Theta(n log n) operations
+    n = 2048
+    f, _ = random_function(n, seed=5)
+    m_euler, m_double = Machine.default(), Machine.default()
+    find_cycle_nodes(f, machine=m_euler)
+    find_cycle_nodes_doubling(f, machine=m_double)
+    assert m_euler.counter.charged_work <= 40 * n
+    assert m_double.work >= n * np.log2(n)

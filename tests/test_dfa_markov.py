@@ -1,0 +1,76 @@
+"""Tests for the application layers: unary DFA minimisation, state aggregation."""
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs import (
+    accepts,
+    aggregate_states,
+    dfa_instance,
+    language_signature,
+    minimize_unary_dfa,
+    observation_trace,
+)
+
+
+@pytest.mark.parametrize("algorithm", ["jaja-ryu", "paige-tarjan-bonic"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_minimisation_preserves_language(algorithm, seed):
+    delta, acc = dfa_instance(60, seed=seed)
+    minimal = minimize_unary_dfa(delta, acc, algorithm=algorithm)
+    assert minimal.num_states <= 60
+    for q in range(60):
+        sig_original = language_signature(delta, acc, q, 120)
+        sig_minimal = language_signature(
+            minimal.transition, minimal.accepting, int(minimal.state_class[q]), 120
+        )
+        assert np.array_equal(sig_original, sig_minimal)
+
+
+def test_minimal_automaton_is_minimal(rng):
+    delta, acc = dfa_instance(40, seed=5)
+    minimal = minimize_unary_dfa(delta, acc)
+    # no two minimal states may share a language signature
+    sigs = {
+        tuple(language_signature(minimal.transition, minimal.accepting, q, 80).tolist())
+        for q in range(minimal.num_states)
+    }
+    assert len(sigs) == minimal.num_states
+
+
+def test_already_minimal_dfa_unchanged():
+    delta = np.array([1, 2, 0])
+    acc = np.array([True, False, False])
+    minimal = minimize_unary_dfa(delta, acc)
+    assert minimal.num_states == 3
+
+
+def test_accepts_matches_signature():
+    delta, acc = dfa_instance(25, seed=9)
+    sig = language_signature(delta, acc, 0, 30)
+    for length in range(31):
+        assert accepts(delta, acc, 0, length) == bool(sig[length])
+
+
+def test_dfa_validation():
+    with pytest.raises(InvalidInstanceError):
+        minimize_unary_dfa([0, 1], [True])
+    with pytest.raises(InvalidInstanceError):
+        minimize_unary_dfa([0, 1], [True, False], initial_state=5)
+
+
+def test_state_aggregation_preserves_traces():
+    rng = np.random.default_rng(3)
+    n = 50
+    transition = rng.integers(0, n, n)
+    observation = rng.integers(0, 3, n)
+    agg = aggregate_states(transition, observation)
+    for q in range(n):
+        original = observation_trace(transition, observation, q, 2 * n)
+        reduced = observation_trace(agg.transition, agg.observation, int(agg.state_class[q]), 2 * n)
+        assert np.array_equal(original, reduced)
+
+
+def test_state_aggregation_validation():
+    with pytest.raises(InvalidInstanceError):
+        aggregate_states([0, 1], [2])

@@ -1,0 +1,95 @@
+"""Tests for Algorithm partition (cyclic-shift equivalence classes)."""
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.pram import ArbitraryWinner, Machine, arbitrary_crcw
+from repro.partition import (
+    partition_cycles,
+    partition_cycles_all_pairs,
+    partition_cycles_sorting,
+)
+
+ALL = [partition_cycles, partition_cycles_all_pairs, partition_cycles_sorting]
+
+
+def _layout(strings):
+    lengths = [len(s) for s in strings]
+    offsets = np.concatenate(([0], np.cumsum(lengths))).astype(np.int64)
+    flat = np.concatenate([np.asarray(s, dtype=np.int64) for s in strings]) if strings else np.zeros(0, dtype=np.int64)
+    return flat, offsets
+
+
+@pytest.mark.parametrize("algo", ALL)
+def test_equal_strings_share_classes(algo):
+    strings = [[1, 2, 1, 3], [1, 2, 1, 3], [2, 1, 3, 1], [1, 2, 1, 3], [9]]
+    flat, offsets = _layout(strings)
+    res = algo(flat, offsets)
+    assert res.class_of.tolist() == [0, 0, 1, 0, 2]
+    assert res.num_classes == 3
+
+
+@pytest.mark.parametrize("algo", ALL)
+def test_different_lengths_never_equivalent(algo):
+    strings = [[1, 2], [1, 2, 1, 2], [1, 2]]
+    flat, offsets = _layout(strings)
+    res = algo(flat, offsets)
+    assert res.class_of[0] == res.class_of[2]
+    assert res.class_of[0] != res.class_of[1]
+
+
+@pytest.mark.parametrize("algo", ALL)
+def test_non_power_of_two_lengths(algo):
+    strings = [[1, 2, 3], [1, 2, 3], [3, 2, 1], [1, 2, 3, 1, 2]]
+    flat, offsets = _layout(strings)
+    res = algo(flat, offsets)
+    assert res.class_of[0] == res.class_of[1]
+    assert len(set(res.class_of.tolist())) == 3
+
+
+@pytest.mark.parametrize("algo", ALL)
+def test_single_cycle_and_empty_set(algo):
+    flat, offsets = _layout([[4, 4, 5]])
+    assert algo(flat, offsets).num_classes == 1
+    flat, offsets = _layout([])
+    assert algo(flat, offsets).num_classes == 0
+
+
+def test_validation_errors():
+    with pytest.raises(InvalidInstanceError):
+        partition_cycles(np.array([1, 2]), np.array([0, 1]))  # offsets don't cover flat
+    with pytest.raises(InvalidInstanceError):
+        partition_cycles(np.array([1, 2]), np.array([0, 0, 2]))  # empty string
+
+
+@pytest.mark.parametrize("k,length", [(8, 4), (16, 8), (33, 5)])
+def test_agreement_between_all_methods_random(k, length, rng):
+    patterns = rng.integers(0, 3, (3, length))
+    strings = [patterns[int(rng.integers(0, 3))].tolist() for _ in range(k)]
+    flat, offsets = _layout(strings)
+    results = [algo(flat, offsets) for algo in ALL]
+    for r in results[1:]:
+        assert np.array_equal(r.class_of, results[0].class_of)
+
+
+def test_bb_doubling_work_is_linear_all_pairs_quadratic(rng):
+    length = 16
+    k = 256
+    strings = [rng.integers(0, 2, length).tolist() for _ in range(k)]
+    flat, offsets = _layout(strings)
+    m_bb, m_ap = Machine.default(), Machine.default()
+    partition_cycles(flat, offsets, machine=m_bb)
+    partition_cycles_all_pairs(flat, offsets, machine=m_ap)
+    n = k * length
+    assert m_bb.counter.charged_work <= 40 * n
+    assert m_ap.work >= n * k / 4  # quadratic in k
+
+
+@pytest.mark.parametrize("winner", list(ArbitraryWinner))
+def test_winner_policy_invariance(winner, rng):
+    strings = [rng.integers(0, 2, 8).tolist() for _ in range(32)]
+    flat, offsets = _layout(strings)
+    reference = partition_cycles(flat, offsets).class_of
+    machine = Machine(arbitrary_crcw(winner), seed=3)
+    got = partition_cycles(flat, offsets, machine=machine).class_of
+    assert np.array_equal(got, reference)

@@ -1,0 +1,35 @@
+"""The example scripts must stay runnable (they are part of the public docs)."""
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def test_all_examples_compile():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        py_compile.compile(str(script), doraise=True)
+
+
+def test_quickstart_runs_and_reproduces_paper_example():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "blocks       = 4" in proc.stdout
+    assert "Phase breakdown" in proc.stdout
+
+
+def test_scaling_study_runs_small():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "scaling_study.py"), "11"],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "E1: work comparison" in proc.stdout

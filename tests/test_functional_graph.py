@@ -1,0 +1,61 @@
+"""Tests for the sequential functional-graph structure analysis."""
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs import analyze_structure, cycle_members, image_closure, iterate, tree_sizes
+from repro.graphs.functional_graph import validate_function
+from repro.graphs.generators import random_function
+
+
+def test_validate_function_errors():
+    with pytest.raises(InvalidInstanceError):
+        validate_function([])
+    with pytest.raises(InvalidInstanceError):
+        validate_function([0, 5])
+    with pytest.raises(InvalidInstanceError):
+        validate_function([-1])
+
+
+def test_structure_of_two_cycles_with_trees():
+    #   cycle A: 0->1->0, cycle B: 2->2 ; 3->0, 4->3, 5->2
+    f = np.array([1, 0, 2, 0, 3, 2])
+    s = analyze_structure(f)
+    assert s.on_cycle.tolist() == [True, True, True, False, False, False]
+    assert s.num_cycles == 2
+    assert sorted(s.cycle_lengths.tolist()) == [1, 2]
+    assert s.depth.tolist() == [0, 0, 0, 1, 2, 1]
+    assert s.root.tolist() == [0, 1, 2, 0, 0, 2]
+
+
+def test_cycle_rank_follows_f():
+    f = np.array([1, 2, 3, 0])
+    s = analyze_structure(f)
+    members = cycle_members(s, 0)
+    assert members.tolist() == [0, 1, 2, 3]
+    for i in range(3):
+        assert f[members[i]] == members[i + 1]
+
+
+def test_structure_consistency_random(rng):
+    for seed in range(5):
+        f, _ = random_function(200, seed=seed)
+        s = analyze_structure(f)
+        # every cycle node's image is a cycle node of the same cycle
+        cyc = np.flatnonzero(s.on_cycle)
+        assert np.array_equal(s.cycle_id[f[cyc]], s.cycle_id[cyc])
+        # depth decreases by exactly one along tree edges
+        tree = np.flatnonzero(~s.on_cycle)
+        assert np.array_equal(s.depth[tree] - 1, s.depth[f[tree]])
+        # root of a tree node equals root of its parent
+        assert np.array_equal(s.root[tree], s.root[f[tree]])
+        # image_closure equals the cycle set
+        assert np.array_equal(image_closure(f), cyc)
+
+
+def test_iterate_and_tree_sizes():
+    f = np.array([1, 0, 0, 2, 3])
+    assert iterate(f, 4, 3) == 0
+    sizes = tree_sizes(f)
+    assert sizes.sum() == 3
+    assert sizes[0] == 3  # nodes 2, 3 and 4 all drain into cycle node 0

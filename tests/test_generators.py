@@ -1,0 +1,95 @@
+"""Tests for the synthetic workload generators."""
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs import analyze_structure
+from repro.graphs.generators import (
+    GENERATORS,
+    cycles_of_equal_length,
+    dfa_instance,
+    label_function_composition,
+    periodic_labeled_cycle,
+    random_function,
+    random_permutation,
+    single_cycle,
+    tree_heavy,
+)
+from repro.partition import linear_partition
+
+
+def test_generators_are_deterministic_per_seed():
+    for name, gen in GENERATORS.items():
+        if name == "cycles_of_equal_length":
+            a = gen(4, 8, seed=3)
+            b = gen(4, 8, seed=3)
+        elif name == "periodic_labeled_cycle":
+            a = gen(12, [0, 1, 2], seed=3)
+            b = gen(12, [0, 1, 2], seed=3)
+        elif name == "label_function_composition":
+            a = gen(16, 4, seed=3)
+            b = gen(16, 4, seed=3)
+        else:
+            a = gen(20, seed=3)
+            b = gen(20, seed=3)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+def test_random_function_shapes_and_ranges():
+    f, b = random_function(50, num_labels=4, seed=0)
+    assert len(f) == len(b) == 50
+    assert f.min() >= 0 and f.max() < 50
+    assert b.min() >= 0 and b.max() < 4
+
+
+def test_random_permutation_is_permutation():
+    f, _ = random_permutation(64, seed=1)
+    assert sorted(f.tolist()) == list(range(64))
+
+
+def test_single_cycle_is_one_cycle():
+    f, _ = single_cycle(33, seed=2)
+    assert analyze_structure(f).num_cycles == 1
+    assert analyze_structure(f).cycle_lengths.tolist() == [33]
+
+
+def test_cycles_of_equal_length_structure():
+    f, b = cycles_of_equal_length(5, 7, seed=4)
+    s = analyze_structure(f)
+    assert s.num_cycles == 5
+    assert (s.cycle_lengths == 7).all()
+
+
+def test_periodic_labeled_cycle_block_count():
+    f, b = periodic_labeled_cycle(20, [0, 1, 0, 2], seed=5)
+    assert linear_partition(f, b).num_blocks == 4
+
+
+def test_label_function_composition_block_count():
+    f, b = label_function_composition(64, 8, seed=6)
+    assert linear_partition(f, b).num_blocks == 8
+
+
+def test_tree_heavy_has_few_cycle_nodes():
+    f, _ = tree_heavy(500, cycle_fraction=0.04, seed=7)
+    s = analyze_structure(f)
+    assert s.num_cycle_nodes <= 0.1 * 500
+
+
+def test_dfa_instance():
+    delta, acc = dfa_instance(30, num_accepting=5, seed=8)
+    assert len(delta) == len(acc) == 30
+    assert acc.sum() == 5
+
+
+def test_generator_validation_errors():
+    with pytest.raises(InvalidInstanceError):
+        random_function(0)
+    with pytest.raises(InvalidInstanceError):
+        cycles_of_equal_length(0, 5)
+    with pytest.raises(InvalidInstanceError):
+        periodic_labeled_cycle(10, [0, 1, 2])
+    with pytest.raises(InvalidInstanceError):
+        label_function_composition(10, 3)
+    with pytest.raises(InvalidInstanceError):
+        tree_heavy(10, cycle_fraction=0.0)

@@ -1,0 +1,78 @@
+"""Tests for Wyllie and work-efficient list ranking plus cycle ranking."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pram import Machine
+from repro.primitives import optimal_rank, rank_cycle, wyllie_rank
+from .conftest import random_open_list
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 7, 64, 500])
+@pytest.mark.parametrize("ranker", [wyllie_rank, optimal_rank])
+def test_ranking_random_open_list(ranker, n, rng, machine):
+    succ, expect, _ = random_open_list(rng, n)
+    assert np.array_equal(ranker(succ, machine=machine), expect)
+
+
+@pytest.mark.parametrize("ranker", [wyllie_rank, optimal_rank])
+def test_ranking_multiple_lists(ranker, rng, machine):
+    # two independent lists inside one array
+    succ = np.array([1, 2, 2, 4, 5, 5])
+    expect = np.array([2, 1, 0, 2, 1, 0])
+    assert np.array_equal(ranker(succ, machine=machine), expect)
+
+
+def test_ranking_empty_and_singleton(machine):
+    assert len(wyllie_rank(np.array([], dtype=np.int64), machine=machine)) == 0
+    assert optimal_rank(np.array([0]), machine=machine).tolist() == [0]
+
+
+def test_ranking_rejects_out_of_range(machine):
+    with pytest.raises(ValueError):
+        wyllie_rank(np.array([5]), machine=machine)
+
+
+def test_optimal_rank_work_beats_wyllie_at_scale(rng):
+    n = 4096
+    succ, expect, _ = random_open_list(rng, n)
+    m1, m2 = Machine.default(), Machine.default()
+    assert np.array_equal(wyllie_rank(succ, machine=m1), expect)
+    assert np.array_equal(optimal_rank(succ, machine=m2), expect)
+    assert m2.work < m1.work
+
+
+def test_rank_cycle_single_cycle(rng, machine):
+    n = 37
+    perm = rng.permutation(n)
+    succ = np.empty(n, dtype=np.int64)
+    succ[perm] = np.roll(perm, -1)
+    heads = np.zeros(n, dtype=bool)
+    heads[perm[0]] = True
+    expect = np.empty(n, dtype=np.int64)
+    expect[perm] = np.arange(n)
+    assert np.array_equal(rank_cycle(succ, heads, machine=machine), expect)
+
+
+def test_rank_cycle_many_cycles(machine):
+    # cycles (0 1 2), (3 4), (5)
+    succ = np.array([1, 2, 0, 4, 3, 5])
+    heads = np.array([True, False, False, True, False, True])
+    got = rank_cycle(succ, heads, machine=machine)
+    assert got[[0, 1, 2]].tolist() == [0, 1, 2]
+    assert got[[3, 4]].tolist() == [0, 1]
+    assert got[5] == 0
+
+
+def test_rank_cycle_head_not_at_min_index(machine):
+    succ = np.array([1, 2, 0])
+    heads = np.array([False, True, False])
+    assert rank_cycle(succ, heads, machine=machine).tolist() == [2, 0, 1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 80), st.integers(0, 2**31 - 1))
+def test_optimal_equals_wyllie_property(n, seed):
+    rng = np.random.default_rng(seed)
+    succ, expect, _ = random_open_list(rng, n)
+    assert np.array_equal(optimal_rank(succ), wyllie_rank(succ))

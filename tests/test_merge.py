@@ -1,0 +1,53 @@
+"""Tests for parallel merge and the comparator mergesort."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.primitives import merge_sort, merge_sort_indices_by_comparator, parallel_merge
+
+
+def test_parallel_merge_basic(machine):
+    out = parallel_merge(np.array([1, 3, 5]), np.array([2, 3, 4, 6]), machine=machine)
+    assert out.tolist() == [1, 2, 3, 3, 4, 5, 6]
+
+
+def test_parallel_merge_empty_sides(machine):
+    assert parallel_merge(np.array([], dtype=np.int64), np.array([1, 2]), machine=machine).tolist() == [1, 2]
+    assert parallel_merge(np.array([1, 2]), np.array([], dtype=np.int64), machine=machine).tolist() == [1, 2]
+    assert len(parallel_merge(np.array([], dtype=np.int64), np.array([], dtype=np.int64), machine=machine)) == 0
+
+
+def test_merge_sort_sorts(machine, rng):
+    x = rng.integers(-100, 100, 500)
+    assert np.array_equal(merge_sort(x, machine=machine), np.sort(x))
+
+
+def test_merge_sort_charges_nlogn(machine):
+    n = 1024
+    merge_sort(np.arange(n)[::-1], machine=machine)
+    assert machine.work >= n * 10
+    assert machine.time <= 2 * int(np.log2(n)) + 2
+
+
+def test_comparator_mergesort_stable_and_correct(machine):
+    items = [(2, "a"), (1, "b"), (2, "c"), (0, "d")]
+
+    def compare(i, j):
+        return items[i][0] - items[j][0]
+
+    order = merge_sort_indices_by_comparator(len(items), compare, machine=machine)
+    assert [items[i][1] for i in order] == ["d", "b", "a", "c"]
+
+
+def test_comparator_mergesort_edge_cases(machine):
+    assert merge_sort_indices_by_comparator(0, lambda i, j: 0, machine=machine).tolist() == []
+    assert merge_sort_indices_by_comparator(1, lambda i, j: 0, machine=machine).tolist() == [0]
+    with pytest.raises(ValueError):
+        merge_sort_indices_by_comparator(-1, lambda i, j: 0, machine=machine)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(-50, 50), max_size=60), st.lists(st.integers(-50, 50), max_size=60))
+def test_parallel_merge_property(a, b):
+    out = parallel_merge(np.sort(np.array(a, dtype=np.int64)), np.sort(np.array(b, dtype=np.int64)))
+    assert out.tolist() == sorted(a + b)

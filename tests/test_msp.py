@@ -1,0 +1,137 @@
+"""Tests for the minimal-starting-point algorithms (Section 3.1)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pram import Machine
+from repro.strings import (
+    booth_msp,
+    canonical_rotation,
+    duval_msp,
+    efficient_msp,
+    naive_msp,
+    sequential_msp,
+    simple_msp,
+)
+from repro.primitives import SortCostModel
+
+
+PAPER_EXAMPLE_3_4 = [3, 2, 1, 3, 2, 3, 4, 3, 1, 2, 3, 4, 2, 1, 1, 1, 3, 2, 2]
+
+
+@pytest.mark.parametrize("fn", [booth_msp, duval_msp, naive_msp])
+def test_sequential_algorithms_on_paper_example(fn):
+    # the minimum rotation of Example 3.4's string starts at the run (1,1,1,...)
+    assert fn(PAPER_EXAMPLE_3_4) == 13
+
+
+@pytest.mark.parametrize("maker", [simple_msp, efficient_msp])
+def test_parallel_algorithms_on_paper_example(maker):
+    assert maker(PAPER_EXAMPLE_3_4).index == 13
+
+
+@pytest.mark.parametrize(
+    "s,expect",
+    [
+        ([5], 0),
+        ([2, 1], 1),
+        ([1, 1, 1], 0),
+        ([2, 1, 2, 1], 1),
+        ([1, 2, 3, 1, 2, 0], 5),
+        ([3, 1, 2, 3, 1, 1], 4),
+    ],
+)
+@pytest.mark.parametrize("algo", ["booth", "duval", "naive"])
+def test_sequential_known_answers(s, expect, algo):
+    assert sequential_msp(s, algorithm=algo).index == expect
+
+
+def test_sequential_msp_rejects_unknown_algorithm():
+    with pytest.raises(ValueError):
+        sequential_msp([1, 2], algorithm="nope")
+
+
+def test_result_fields_consistent():
+    res = efficient_msp([2, 1, 2, 1, 2, 1])
+    assert res.period == 2
+    assert res.index == 1
+    assert res.rotation.tolist() == [1, 2, 1, 2, 1, 2]
+    assert res.cost.work > 0
+
+
+def test_canonical_rotation_identifies_cyclic_equivalence(rng):
+    s = rng.integers(0, 4, 50)
+    for shift in (1, 7, 23):
+        rotated = np.roll(s, shift)
+        assert np.array_equal(canonical_rotation(s), canonical_rotation(rotated))
+
+
+@pytest.mark.parametrize(
+    "adversarial",
+    [
+        [1] * 16,                             # fully repeating
+        [1, 1, 1, 1, 2, 1, 1, 1, 2, 2],       # long runs of the minimum
+        [2, 1, 1, 1, 1, 1, 2, 1, 1, 1, 1, 1], # repeating with min runs
+        [3, 1, 2] * 5,                        # periodic, period 3
+        [1, 2] * 6 + [1, 3],                  # near periodic
+        [0, 0, 1, 0, 0, 1, 0, 1],             # binary
+        list(range(40, 0, -1)),               # strictly decreasing
+    ],
+)
+def test_adversarial_strings_all_algorithms_agree(adversarial):
+    expect = naive_msp(adversarial)
+    assert booth_msp(adversarial) == expect
+    assert duval_msp(adversarial) == expect
+    assert simple_msp(adversarial).index == expect
+    assert efficient_msp(adversarial).index == expect
+
+
+def test_efficient_msp_work_is_below_simple_at_scale(rng):
+    n = 8192
+    s = rng.integers(0, 6, n)
+    m_simple, m_eff = Machine.default(), Machine.default()
+    r1 = simple_msp(s, machine=m_simple)
+    r2 = efficient_msp(s, machine=m_eff)
+    assert r1.index == r2.index
+    assert m_eff.counter.charged_work < m_simple.work
+
+
+def test_efficient_msp_incurred_cost_model(rng):
+    s = rng.integers(0, 6, 512)
+    m = Machine.default()
+    res = efficient_msp(s, machine=m, cost_model=SortCostModel.INCURRED)
+    assert res.index == booth_msp(s)
+    assert m.counter.charged_work == m.work
+
+
+def test_parallel_time_grows_logarithmically(rng):
+    times = []
+    for n in (256, 1024, 4096):
+        s = rng.integers(0, 4, n)
+        m = Machine.default()
+        simple_msp(s, machine=m)
+        times.append(m.time)
+    # 16x growth in n should produce far less than 16x growth in rounds
+    assert times[-1] <= times[0] * 4
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 4), min_size=1, max_size=64))
+def test_all_msp_algorithms_agree_property(s):
+    expect = naive_msp(s)
+    assert booth_msp(s) == expect
+    assert duval_msp(s) == expect
+    assert simple_msp(s).index == expect
+    assert efficient_msp(s).index == expect
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=40))
+def test_msp_rotation_is_minimal_property(s):
+    res = efficient_msp(s)
+    arr = np.array(s)
+    doubled = np.concatenate([arr, arr])
+    minimal = res.rotation
+    for j in range(len(s)):
+        rot = doubled[j: j + len(s)]
+        assert tuple(minimal.tolist()) <= tuple(rot.tolist())

@@ -1,0 +1,91 @@
+"""Tests for the circular/linear pair-encoding shrink steps."""
+import numpy as np
+import pytest
+
+from repro.strings import circular_pair_heads, circular_pairs, linear_pairs, rank_replace
+from repro.strings.alphabet import concatenate_with_offsets
+
+
+PAPER_EXAMPLE_3_4 = np.array([3, 2, 1, 3, 2, 3, 4, 3, 1, 2, 3, 4, 2, 1, 1, 1, 3, 2, 2])
+
+
+def _paper_marks():
+    s = PAPER_EXAMPLE_3_4
+    prev = np.roll(s, 1)
+    return (s == 1) & (prev != 1)
+
+
+def test_paper_example_marking():
+    marked = _paper_marks()
+    assert np.flatnonzero(marked).tolist() == [2, 8, 13]
+
+
+def test_paper_example_pairs_match_example_3_4():
+    s = PAPER_EXAMPLE_3_4
+    marked = _paper_marks()
+    first, second, heads = circular_pairs(s, marked, pad_symbol=1)
+    pairs = {int(h): (int(a), int(b)) for h, a, b in zip(heads, first, second)}
+    # the pairs listed in Example 3.4, keyed by their starting position
+    assert pairs[2] == (1, 3)
+    assert pairs[4] == (2, 3)
+    assert pairs[6] == (4, 3)
+    assert pairs[8] == (1, 2)
+    assert pairs[10] == (3, 4)
+    assert pairs[12] == (2, 1)   # the odd leftover padded with the minimum
+    assert pairs[13] == (1, 1)
+    assert pairs[15] == (1, 3)
+    assert pairs[17] == (2, 2)
+    assert pairs[0] == (3, 2)    # the wrap-around pair
+    assert len(pairs) == 10
+
+
+def test_paper_example_ranks_and_new_string():
+    s = PAPER_EXAMPLE_3_4
+    first, second, heads = circular_pairs(s, _paper_marks(), pad_symbol=1)
+    codes, sigma = rank_replace(first, second)
+    order = np.argsort(heads)
+    new_string = codes[order]
+    # Example 3.4 reports (7,3,6,9,2,8,4,1,3,5); our padding of the odd
+    # leftover uses (2,1) instead of the bare (2) so the rank of that pair
+    # and everything above it shifts by one relative ordering is identical.
+    assert len(new_string) == 10
+    assert sigma == 9
+    # pairs (1,3) at positions 2 and 15 must share a code
+    by_head = {int(h): int(c) for h, c in zip(heads, codes)}
+    assert by_head[2] == by_head[15]
+    # the smallest pair (1,1) gets the smallest code
+    assert by_head[13] == 1
+
+
+def test_new_length_bound_two_thirds(rng):
+    for _ in range(25):
+        n = int(rng.integers(4, 200))
+        s = rng.integers(0, 4, n)
+        smallest = int(s.min())
+        prev = np.roll(s, 1)
+        marked = (s == smallest) & (prev != smallest)
+        if marked.sum() < 1:
+            continue
+        first, _, heads = circular_pairs(s, marked)
+        assert len(heads) <= max(1, (2 * n + 2) // 3)
+
+
+def test_circular_pair_heads_requires_mark():
+    with pytest.raises(ValueError):
+        circular_pair_heads(np.zeros(4, dtype=bool))
+
+
+def test_linear_pairs_structure():
+    strings = [[5, 6, 7], [8], [9, 1, 2, 3]]
+    flat, offsets = concatenate_with_offsets(strings)
+    first, second, sid, new_offsets = linear_pairs(flat, offsets)
+    assert new_offsets.tolist() == [0, 2, 3, 5]
+    assert sid.tolist() == [0, 0, 1, 2, 2]
+    # symbols are shifted by +1 internally; odd tails padded with blank 0
+    assert first.tolist() == [6, 8, 9, 10, 3]
+    assert second.tolist() == [7, 0, 0, 2, 4]
+
+
+def test_linear_pairs_empty_input():
+    first, second, sid, new_offsets = linear_pairs(np.array([], dtype=np.int64), np.array([0]))
+    assert len(first) == 0 and len(new_offsets) == 1

@@ -1,0 +1,52 @@
+"""Tests for pointer jumping utilities."""
+import numpy as np
+import pytest
+
+from repro.primitives import distance_to_marked, jump_to_fixed_point, kth_successor
+
+
+def test_jump_to_fixed_point_rooted_forest(machine):
+    parent = np.array([0, 0, 1, 1, 3, 5])
+    roots = jump_to_fixed_point(parent, machine=machine)
+    assert roots.tolist() == [0, 0, 0, 0, 0, 5]
+
+
+def test_distance_to_marked_simple(machine):
+    f = np.array([1, 2, 3, 0, 0, 4, 5])
+    marked = np.array([True, True, True, True, False, False, False])
+    d, t = distance_to_marked(f, marked, machine=machine)
+    assert d.tolist() == [0, 0, 0, 0, 1, 2, 3]
+    assert t.tolist() == [0, 1, 2, 3, 0, 0, 0]
+
+
+def test_distance_to_marked_requires_reachable_mark(machine):
+    f = np.array([1, 0])
+    marked = np.array([False, False])
+    with pytest.raises(ValueError):
+        distance_to_marked(f, marked, machine=machine)
+
+
+def test_distance_to_marked_deep_chain(machine):
+    n = 200
+    f = np.maximum(np.arange(n) - 1, 0)
+    marked = np.zeros(n, dtype=bool)
+    marked[0] = True
+    d, t = distance_to_marked(f, marked, machine=machine)
+    assert d.tolist() == list(range(n))
+    assert (t == 0).all()
+
+
+def test_kth_successor_matches_iteration(machine, rng):
+    n = 64
+    f = rng.integers(0, n, n)
+    for k in (0, 1, 5, 63, 200):
+        got = kth_successor(f, k, machine=machine)
+        expect = np.arange(n)
+        for _ in range(k):
+            expect = f[expect]
+        assert np.array_equal(got, expect)
+
+
+def test_kth_successor_rejects_negative(machine):
+    with pytest.raises(ValueError):
+        kth_successor(np.array([0]), -1, machine=machine)

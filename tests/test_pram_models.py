@@ -1,0 +1,93 @@
+"""Tests for EREW/CREW/CRCW access policies and winner selection."""
+import numpy as np
+import pytest
+
+from repro.errors import CommonWriteValueError, ConcurrentReadError, ConcurrentWriteError
+from repro.pram.models import (
+    ArbitraryWinner,
+    arbitrary_crcw,
+    common_crcw,
+    crew,
+    erew,
+    get_model,
+)
+
+
+def test_erew_rejects_concurrent_reads():
+    model = erew()
+    with pytest.raises(ConcurrentReadError):
+        model.read.check(np.array([1, 2, 2, 3]))
+
+
+def test_erew_allows_distinct_reads():
+    erew().read.check(np.array([4, 1, 3, 2]))  # no exception
+
+
+def test_crew_allows_concurrent_reads_but_not_writes():
+    model = crew()
+    model.read.check(np.array([1, 1, 1]))
+    with pytest.raises(ConcurrentWriteError):
+        model.write.resolve(np.array([5, 5]), np.array([1, 2]))
+
+
+def test_common_crcw_requires_agreeing_values():
+    model = common_crcw()
+    addr, vals = model.write.resolve(np.array([3, 3, 4]), np.array([7, 7, 9]))
+    assert dict(zip(addr.tolist(), vals.tolist())) == {3: 7, 4: 9}
+    with pytest.raises(CommonWriteValueError):
+        model.write.resolve(np.array([3, 3]), np.array([7, 8]))
+
+
+def test_arbitrary_crcw_first_and_last_winner():
+    first = arbitrary_crcw(ArbitraryWinner.FIRST)
+    last = arbitrary_crcw(ArbitraryWinner.LAST)
+    addr = np.array([9, 9, 9, 2])
+    vals = np.array([10, 20, 30, 5])
+    a1, v1 = first.write.resolve(addr, vals)
+    assert dict(zip(a1.tolist(), v1.tolist()))[9] == 10
+    a2, v2 = last.write.resolve(addr, vals)
+    assert dict(zip(a2.tolist(), v2.tolist()))[9] == 30
+
+
+def test_arbitrary_crcw_random_winner_is_deterministic_per_seed():
+    model = arbitrary_crcw(ArbitraryWinner.RANDOM)
+    addr = np.array([1] * 50)
+    vals = np.arange(50)
+    rng1 = np.random.default_rng(7)
+    rng2 = np.random.default_rng(7)
+    _, w1 = model.write.resolve(addr, vals, rng=rng1)
+    _, w2 = model.write.resolve(addr, vals, rng=rng2)
+    assert np.array_equal(w1, w2)
+    # and the winner is one of the written values
+    assert w1[0] in vals
+
+
+def test_random_winner_actually_varies_across_seeds():
+    model = arbitrary_crcw(ArbitraryWinner.RANDOM)
+    addr = np.array([1] * 64)
+    vals = np.arange(64)
+    winners = {
+        int(model.write.resolve(addr, vals, rng=np.random.default_rng(seed))[1][0])
+        for seed in range(20)
+    }
+    assert len(winners) > 1
+
+
+def test_empty_write_batch_is_noop():
+    model = arbitrary_crcw()
+    addr, vals = model.write.resolve(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+    assert len(addr) == 0 and len(vals) == 0
+
+
+def test_get_model_registry_and_unknown():
+    assert get_model("EREW").name == "EREW"
+    assert get_model("arbitrary-crcw").name == "arbitrary-CRCW"
+    with pytest.raises(KeyError):
+        get_model("nonsense")
+
+
+def test_with_winner_preserves_other_policies():
+    m = arbitrary_crcw().with_winner(ArbitraryWinner.LAST)
+    assert m.write.winner is ArbitraryWinner.LAST
+    assert m.read.allow_concurrent
+    assert m.write.allow_concurrent

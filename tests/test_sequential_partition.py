@@ -1,0 +1,97 @@
+"""Tests for the three sequential baselines (naive, Hopcroft, PTB)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import random_function, random_permutation, tree_heavy
+from repro.pram import Machine
+from repro.partition import (
+    brute_force_coarsest,
+    hopcroft_partition,
+    linear_partition,
+    naive_partition,
+    paper_example_2_2,
+    paper_example_2_2_expected_labels,
+    same_partition,
+)
+
+SEQUENTIAL = [naive_partition, hopcroft_partition, linear_partition]
+
+
+@pytest.mark.parametrize("algo", SEQUENTIAL)
+def test_paper_example(algo):
+    inst = paper_example_2_2()
+    res = algo(inst.function, inst.initial_labels)
+    assert same_partition(res.labels, paper_example_2_2_expected_labels())
+    assert res.num_blocks == 4
+    inst.verify(res.labels)
+
+
+@pytest.mark.parametrize("algo", SEQUENTIAL)
+def test_identity_function_keeps_initial_partition(algo):
+    f = np.arange(6)
+    b = np.array([0, 1, 0, 2, 1, 0])
+    res = algo(f, b)
+    assert same_partition(res.labels, b)
+
+
+@pytest.mark.parametrize("algo", SEQUENTIAL)
+def test_single_element(algo):
+    res = algo([0], [0])
+    assert res.num_blocks == 1
+
+
+@pytest.mark.parametrize("algo", SEQUENTIAL)
+def test_all_same_labels_single_cycle(algo):
+    # constant labels on one cycle: everything collapses to one block
+    n = 12
+    f = (np.arange(n) + 1) % n
+    b = np.zeros(n, dtype=np.int64)
+    assert algo(f, b).num_blocks == 1
+
+
+@pytest.mark.parametrize("algo", SEQUENTIAL)
+def test_alternating_labels_on_cycle(algo):
+    n = 12
+    f = (np.arange(n) + 1) % n
+    b = np.arange(n) % 2
+    res = algo(f, b)
+    assert res.num_blocks == 2
+    assert same_partition(res.labels, b)
+
+
+@pytest.mark.parametrize("algo", SEQUENTIAL)
+@pytest.mark.parametrize("gen", [random_function, random_permutation, tree_heavy])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_matches_brute_force_on_random_instances(algo, gen, seed):
+    f, b = gen(60, num_labels=3, seed=seed)
+    assert same_partition(algo(f, b).labels, brute_force_coarsest(f, b))
+
+
+def test_costs_are_sequential():
+    f, b = random_function(200, seed=0)
+    for algo in SEQUENTIAL:
+        m = Machine.default()
+        algo(f, b, machine=m)
+        assert m.time == m.work  # one operation per step on one processor
+
+
+def test_hopcroft_work_near_nlogn_linear_work_near_n():
+    f, b = random_function(4096, num_labels=3, seed=1)
+    m_h, m_l = Machine.default(), Machine.default()
+    hopcroft_partition(f, b, machine=m_h)
+    linear_partition(f, b, machine=m_l)
+    n = 4096
+    assert m_l.work <= 20 * n
+    assert m_h.work <= 20 * n * np.log2(n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 45), st.integers(0, 10**6), st.integers(1, 4))
+def test_sequential_agreement_property(n, seed, labels):
+    rng = np.random.default_rng(seed)
+    f = rng.integers(0, n, n)
+    b = rng.integers(0, labels, n)
+    expect = brute_force_coarsest(f, b)
+    for algo in SEQUENTIAL:
+        assert same_partition(algo(f, b).labels, expect)

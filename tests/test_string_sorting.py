@@ -1,0 +1,80 @@
+"""Tests for Algorithm sorting strings and its baselines."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pram import Machine
+from repro.strings import (
+    sort_strings,
+    sort_strings_comparison,
+    sort_strings_doubling,
+    sort_strings_sequential,
+)
+
+ALL_SORTERS = [sort_strings, sort_strings_doubling, sort_strings_comparison, sort_strings_sequential]
+
+
+def _reference(strings):
+    return sorted(range(len(strings)), key=lambda i: tuple(strings[i]))
+
+
+@pytest.mark.parametrize("sorter", ALL_SORTERS)
+def test_known_list(sorter):
+    strings = [[2, 1], [2], [], [0, 9, 9], [2, 1, 0], [2]]
+    res = sorter(strings)
+    got = [tuple(strings[i]) for i in res.order]
+    assert got == [tuple(strings[i]) for i in _reference(strings)]
+    # dense ranks: empty string first, duplicates share ranks
+    assert res.ranks.tolist() == [3, 2, 0, 1, 4, 2]
+
+
+@pytest.mark.parametrize("sorter", ALL_SORTERS)
+def test_single_and_empty_collections(sorter):
+    assert sorter([]).order.tolist() == []
+    assert sorter([[4, 2]]).order.tolist() == [0]
+
+
+@pytest.mark.parametrize("sorter", ALL_SORTERS)
+def test_prefix_ordering(sorter):
+    strings = [[1, 2, 3], [1, 2], [1], [1, 2, 3, 4]]
+    res = sorter(strings)
+    assert [tuple(strings[i]) for i in res.order] == [(1,), (1, 2), (1, 2, 3), (1, 2, 3, 4)]
+
+
+def test_large_alphabet(machine, rng):
+    strings = [rng.integers(0, 10**6, int(rng.integers(1, 20))).tolist() for _ in range(50)]
+    res = sort_strings(strings, machine=machine)
+    assert [tuple(strings[i]) for i in res.order] == [tuple(strings[i]) for i in _reference(strings)]
+
+
+def test_paper_algorithm_work_advantage_on_skewed_lists(rng):
+    # many unit strings plus one long one: the doubling baseline keeps
+    # reprocessing the unit strings, the paper's algorithm retires them.
+    strings = [[int(x)] for x in rng.integers(0, 4, 3000)] + [rng.integers(0, 4, 1500).tolist()]
+    m_paper, m_doubling = Machine.default(), Machine.default()
+    r_paper = sort_strings(strings, machine=m_paper)
+    r_doubling = sort_strings_doubling(strings, machine=m_doubling)
+    assert np.array_equal(r_paper.ranks, r_doubling.ranks)
+    assert m_paper.work < m_doubling.work
+
+
+def test_time_is_polylogarithmic(rng):
+    strings = [rng.integers(0, 8, 16).tolist() for _ in range(256)]
+    m = Machine.default()
+    sort_strings(strings, machine=m)
+    total = sum(len(s) for s in strings)
+    assert m.time <= 60 * int(np.log2(total))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.lists(st.integers(0, 5), max_size=10), max_size=25),
+)
+def test_all_sorters_agree_property(strings):
+    expect_order = [tuple(s) for s in sorted(strings)]
+    uniq = sorted(set(map(tuple, strings)))
+    expect_ranks = [uniq.index(tuple(s)) for s in strings]
+    for sorter in ALL_SORTERS:
+        res = sorter(strings)
+        assert [tuple(strings[i]) for i in res.order] == expect_order
+        assert res.ranks.tolist() == expect_ranks
