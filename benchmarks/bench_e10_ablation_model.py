@@ -1,14 +1,18 @@
 """E10 — ablation: arbitrary-CRCW winner policy invariance + msp variant."""
 import pytest
 
-from repro.analysis import render_table, run_e10_model_ablation
+from repro.analysis import render_table
+from repro.bench import SweepConfig
 from repro.graphs.generators import random_function
 from repro.partition import jaja_ryu_partition, linear_partition, same_partition
 
 
-def test_generate_table_e10(report):
-    rows = run_e10_model_ablation(k=256, length=32, seed=0)
-    report.append(render_table(rows, title="E10 (ablation): CRCW winner policy"))
+def test_generate_table_e10(report, bench):
+    result = bench.run_experiment([
+        SweepConfig("e10", seed=0, params={"k": 256, "length": 32})
+    ])
+    rows = result.rows
+    report.extend(result.tables)
     assert all(r["matches_reference"] for r in rows)
 
 

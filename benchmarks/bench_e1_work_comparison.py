@@ -7,21 +7,17 @@ O(n log^2 n) for the Srikant-style CREW algorithm (Introduction, Theorem
 """
 import pytest
 
-from repro.analysis import pivot, render_table, run_e1_work_comparison
+from repro.bench import SweepConfig
 from repro.graphs.generators import random_function
 from repro.partition import jaja_ryu_partition
 
 SWEEP = (256, 1024, 4096, 16384)
 
 
-def test_generate_table_e1(report):
-    rows = run_e1_work_comparison(SWEEP, workload="mixed", seed=0)
-    wide = pivot(rows, "n", "algorithm", "charged_work")
-    report.append(render_table(rows, columns=[
-        "algorithm", "n", "time", "work", "charged_work",
-        "work/(n lg lg n)", "work/(n lg n)", "charged/(n lg lg n)"],
-        title="E1 (Table 1): work comparison, workload=mixed"))
-    report.append(render_table(wide, title="E1 pivot: charged work by algorithm"))
+def test_generate_table_e1(report, bench):
+    result = bench.run_experiment([SweepConfig("e1", sizes=SWEEP, workload="mixed", seed=0)])
+    rows = result.rows
+    report.extend(result.tables)
     # acceptance: ours/galley work ratio shrinks across the sweep
     ours = {r["n"]: r["charged_work"] for r in rows if r["algorithm"] == "jaja-ryu"}
     galley = {r["n"]: r["work"] for r in rows if r["algorithm"] == "galley-iliopoulos"}

@@ -6,21 +6,19 @@ Srikant-style CREW baseline needs Θ(log² n) rounds.
 import numpy as np
 import pytest
 
-from repro.analysis import render_series, render_table, run_e2_time_scaling
+from repro.bench import SweepConfig
 from repro.graphs.generators import random_function
 from repro.partition import srikant_partition
 
 SWEEP = (256, 1024, 4096, 16384)
 
 
-def test_generate_figure_e2(report):
-    rows = run_e2_time_scaling(SWEEP, workload="mixed", seed=0)
-    report.append(render_table(rows, title="E2 (Figure 1): parallel rounds"))
-    ours = [r for r in rows if r["algorithm"] == "jaja-ryu"]
-    report.append(render_series([r["n"] for r in ours], [r["time/log n"] for r in ours],
-                                label="E2 series: jaja-ryu rounds / log2(n)"))
+def test_generate_figure_e2(report, bench):
+    result = bench.run_experiment([SweepConfig("e2", sizes=SWEEP, workload="mixed", seed=0)])
+    rows = result.rows
+    report.extend(result.tables)
     # acceptance: rounds/log n stays bounded for ours, grows for srikant
-    ours_ratio = [r["time/log n"] for r in ours]
+    ours_ratio = [r["time/log n"] for r in rows if r["algorithm"] == "jaja-ryu"]
     srik = [r["time/log^2 n"] for r in rows if r["algorithm"] == "srikant"]
     assert max(ours_ratio) <= 4 * min(ours_ratio)
     assert max(srik) <= 4 * min(srik)

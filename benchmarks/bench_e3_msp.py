@@ -6,21 +6,20 @@ Booth baseline is linear.
 """
 import pytest
 
-from repro.analysis import render_table, run_e3_msp
+from repro.bench import SweepConfig
 from repro.analysis.workloads import circular_string_workloads
 from repro.strings import efficient_msp, simple_msp
 
 SWEEP = (512, 2048, 8192)
 
 
-def test_generate_table_e3(report):
-    all_rows = []
-    for family in ("random_small_alphabet", "binary", "min_runs"):
-        all_rows.extend(run_e3_msp(SWEEP, string_family=family, seed=0))
-    report.append(render_table(all_rows, columns=[
-        "algorithm", "family", "n", "time", "work", "charged_work",
-        "work/(n lg lg n)", "work/(n lg n)"],
-        title="E3 (Table 2): minimal starting point"))
+def test_generate_table_e3(report, bench):
+    result = bench.run_experiment([
+        SweepConfig("e3", sizes=SWEEP, seed=0, params={"string_family": family})
+        for family in ("random_small_alphabet", "binary", "min_runs")
+    ])
+    all_rows = result.rows
+    report.extend(result.tables)
     eff = [r for r in all_rows if r["algorithm"] == "efficient-msp" and r["family"] == "binary"]
     simple = [r for r in all_rows if r["algorithm"] == "simple-msp" and r["family"] == "binary"]
     ratio_first = eff[0]["charged_work"] / simple[0]["work"]

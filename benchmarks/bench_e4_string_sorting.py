@@ -1,21 +1,20 @@
 """E4 — "Table 3": sorting variable-length strings (Lemma 3.8)."""
 import pytest
 
-from repro.analysis import render_table, run_e4_string_sorting
+from repro.bench import SweepConfig
 from repro.analysis.workloads import string_list_workloads
 from repro.strings import sort_strings
 
 SWEEP = (512, 2048, 8192)
 
 
-def test_generate_table_e4(report):
-    all_rows = []
-    for family in ("uniform_short", "skewed"):
-        all_rows.extend(run_e4_string_sorting(SWEEP, family=family, seed=0))
-    report.append(render_table(all_rows, columns=[
-        "algorithm", "family", "n", "num_strings", "time", "work", "charged_work",
-        "work/(n lg lg n)", "work/(n lg n)"],
-        title="E4 (Table 3): string sorting"))
+def test_generate_table_e4(report, bench):
+    result = bench.run_experiment([
+        SweepConfig("e4", sizes=SWEEP, seed=0, params={"family": family})
+        for family in ("uniform_short", "skewed")
+    ])
+    all_rows = result.rows
+    report.extend(result.tables)
     # acceptance: on the skewed family the paper's algorithm does less work
     # than the doubling variant that never retires unit strings
     ours = [r for r in all_rows if r["algorithm"] == "jaja-ryu-sort" and r["family"] == "skewed"]

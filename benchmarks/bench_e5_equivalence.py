@@ -2,15 +2,16 @@
 import numpy as np
 import pytest
 
-from repro.analysis import render_table, run_e5_equivalence
+from repro.bench import SweepConfig
 from repro.partition import partition_cycles
 
 
-def test_generate_table_e5(report):
-    rows = run_e5_equivalence((4, 16, 64, 256), length=32, seed=0)
-    report.append(render_table(rows, columns=[
-        "algorithm", "k", "n", "classes", "time", "work", "work/n"],
-        title="E5 (Table 4): cycle equivalence classes"))
+def test_generate_table_e5(report, bench):
+    result = bench.run_experiment([
+        SweepConfig("e5", sizes=(4, 16, 64, 256), seed=0, params={"length": 32})
+    ])
+    rows = result.rows
+    report.extend(result.tables)
     bb = [r for r in rows if r["algorithm"] == "bb-doubling"]
     ap = [r for r in rows if r["algorithm"] == "all-pairs"]
     # BB-table work stays Θ(n); all-pairs grows ~quadratically in k

@@ -2,15 +2,18 @@
 import numpy as np
 import pytest
 
-from repro.analysis import render_table, run_e6_shrink
+from repro.bench import SweepConfig
 from repro.analysis.workloads import circular_string_workloads
 from repro.strings import efficient_msp
 
 
-def test_generate_figure_e6(report):
-    rows = run_e6_shrink((1024, 4096, 16384), string_family="random_small_alphabet", seed=0)
-    rows += run_e6_shrink((1024, 4096, 16384), string_family="binary", seed=0)
-    report.append(render_table(rows, title="E6 (Figure 2): per-round shrink factor"))
+def test_generate_figure_e6(report, bench):
+    result = bench.run_experiment([
+        SweepConfig("e6", sizes=(1024, 4096, 16384), seed=0, params={"string_family": family})
+        for family in ("random_small_alphabet", "binary")
+    ])
+    rows = result.rows
+    report.extend(result.tables)
     for row in rows:
         assert row["max_shrink_factor"] <= 2 / 3 + 0.05
         assert row["rounds"] <= np.log2(max(2, np.log2(row["n"]))) / np.log2(1.5) + 3

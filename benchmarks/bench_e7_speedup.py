@@ -1,15 +1,17 @@
 """E7 — "Figure 3": Brent speedup curves on p processors."""
 import pytest
 
-from repro.analysis import pivot, render_table, run_e7_speedup
+from repro.bench import SweepConfig
 from repro.pram import StepProfile
 
 
-def test_generate_figure_e7(report):
-    rows = run_e7_speedup(n=8192, processor_counts=(1, 4, 16, 64, 256, 1024, 4096), workload="mixed", seed=0)
-    wide = pivot(rows, "processors", "algorithm", "brent_time")
-    report.append(render_table(rows, title="E7 (Figure 3): Brent-scheduled time"))
-    report.append(render_table(wide, title="E7 pivot: scheduled time by processor count"))
+def test_generate_figure_e7(report, bench):
+    result = bench.run_experiment([
+        SweepConfig("e7", workload="mixed", seed=0,
+                    params={"n": 8192, "processor_counts": (1, 4, 16, 64, 256, 1024, 4096)})
+    ])
+    rows = result.rows
+    report.extend(result.tables)
     # acceptance: with enough processors our algorithm reaches a smaller
     # scheduled time than the O(n log n)-work baseline at the same p
     ours = {r["processors"]: r["brent_time"] for r in rows if r["algorithm"] == "jaja-ryu"}

@@ -1,14 +1,17 @@
 """E8 — "Table 5": agreement of every algorithm with the sequential oracle."""
 import pytest
 
-from repro.analysis import render_table, run_e8_agreement
+from repro.bench import SweepConfig
 from repro.graphs.generators import random_function
 from repro.partition import jaja_ryu_partition, linear_partition, same_partition
 
 
-def test_generate_table_e8(report):
-    rows = run_e8_agreement(trials=30, max_n=200, seed=0)
-    report.append(render_table(rows, title="E8 (Table 5): agreement fuzzing"))
+def test_generate_table_e8(report, bench):
+    result = bench.run_experiment([
+        SweepConfig("e8", seed=0, params={"trials": 30, "max_n": 200})
+    ])
+    rows = result.rows
+    report.extend(result.tables)
     assert rows[0]["agreement_rate"] == 1.0
 
 

@@ -1,15 +1,18 @@
 """E9 — ablation: charged vs incurred cost and where the work goes."""
 import pytest
 
-from repro.analysis import render_table, run_e9_sort_ablation
+from repro.bench import SweepConfig
 from repro.graphs.generators import random_function
 from repro.partition import jaja_ryu_partition
 from repro.primitives import SortCostModel
 
 
-def test_generate_table_e9(report):
-    rows = run_e9_sort_ablation((1024, 4096, 16384), workload="mixed", seed=0)
-    report.append(render_table(rows, title="E9 (ablation): integer-sort cost model"))
+def test_generate_table_e9(report, bench):
+    result = bench.run_experiment([
+        SweepConfig("e9", sizes=(1024, 4096, 16384), workload="mixed", seed=0)
+    ])
+    rows = result.rows
+    report.extend(result.tables)
     charged = [r for r in rows if r["cost_model"] == "charged"]
     # charged work per element grows very slowly (log log n regime)
     per_n = [r["charged/n"] for r in charged]

@@ -6,9 +6,19 @@ with pytest-benchmark.  Run with::
 
     pytest benchmarks/ --benchmark-only
 
-The printed tables are the ones recorded in EXPERIMENTS.md.
+The table tests execute through :class:`repro.bench.BenchmarkRunner`, so
+each run also refreshes the machine-readable ``BENCH_E*.json`` artifacts
+(written to the repository root, or ``$BENCH_OUT_DIR`` when set) — the
+printed tables and the persisted perf trajectory come from one code path.
 """
+import os
+import pathlib
+
 import pytest
+
+from repro.bench import BenchmarkRunner
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
 
 def pytest_collection_modifyitems(items):
@@ -23,3 +33,10 @@ def report():
     yield lines
     if lines:
         print("\n" + "\n\n".join(lines))
+
+
+@pytest.fixture(scope="session")
+def bench():
+    """Session-wide benchmark runner persisting the BENCH_E*.json trajectory."""
+    out_dir = os.environ.get("BENCH_OUT_DIR", str(REPO_ROOT))
+    return BenchmarkRunner(out_dir=out_dir)

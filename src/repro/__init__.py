@@ -51,6 +51,7 @@ from .partition import (
     linear_partition,
     naive_partition,
     same_partition,
+    solve_batch,
     srikant_partition,
 )
 from .strings import (
@@ -91,6 +92,7 @@ __all__ = [
     "SFCPInstance",
     "coarsest_partition",
     "jaja_ryu_partition",
+    "solve_batch",
     "galley_iliopoulos_partition",
     "srikant_partition",
     "linear_partition",

@@ -78,8 +78,13 @@ def run_e1_work_comparison(
     algorithms: Optional[Sequence[str]] = None,
     include_naive: bool = False,
     verify: bool = True,
+    audit: Optional[bool] = None,
 ) -> List[Row]:
-    """E1: total work of each coarsest-partition algorithm across a size sweep."""
+    """E1: total work of each coarsest-partition algorithm across a size sweep.
+
+    ``audit=False`` runs every algorithm on the no-audit fast path (charged
+    cost is identical; only the conflict validation is skipped).
+    """
     wl = get_workload(workload)
     names = list(algorithms) if algorithms is not None else list(PARTITION_ALGORITHMS)
     rows: List[Row] = []
@@ -88,7 +93,7 @@ def run_e1_work_comparison(
         reference = None
         for name in names:
             algo = PARTITION_ALGORITHMS[name]
-            result = algo(f, b)
+            result = algo(f, b, audit=audit)
             if verify:
                 if reference is None:
                     reference = linear_partition(f, b).labels
@@ -98,7 +103,7 @@ def run_e1_work_comparison(
             row["blocks"] = result.num_blocks
             rows.append(row)
         if include_naive and n <= 2048:
-            result = naive_parallel_partition(f, b)
+            result = naive_parallel_partition(f, b, audit=audit)
             row = _cost_row("naive-parallel", n, result.cost)
             row["workload"] = workload
             row["blocks"] = result.num_blocks
@@ -111,9 +116,10 @@ def run_e2_time_scaling(
     *,
     workload: str = "mixed",
     seed: int = 0,
+    audit: Optional[bool] = None,
 ) -> List[Row]:
     """E2: parallel rounds of each algorithm across the sweep (Figure 1)."""
-    rows = run_e1_work_comparison(sizes, workload=workload, seed=seed, verify=False)
+    rows = run_e1_work_comparison(sizes, workload=workload, seed=seed, verify=False, audit=audit)
     # E2 reads the same runs; keep only the time-related columns.
     return [
         {

@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` — run the benchmark suite from the shell."""
+import sys
+
+from .cli import main
+
+sys.exit(main())

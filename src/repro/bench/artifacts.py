@@ -1,0 +1,126 @@
+"""Machine-readable benchmark artifacts (``BENCH_E*.json``).
+
+Every runner invocation emits one JSON artifact per experiment so the
+repository accumulates a perf trajectory: charged PRAM cost (time/work),
+host wall-clock, and the exact configuration fingerprint of each cell.
+The schema is versioned; :func:`validate_artifact` rejects documents that
+a reader of this version cannot interpret, and the loader runs it, so a
+schema bump cannot silently corrupt trend tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Optional
+
+#: Document format identifier; bump :data:`SCHEMA_VERSION` on breaking change.
+SCHEMA_NAME = "repro.bench"
+SCHEMA_VERSION = 1
+
+#: Keys every artifact document must carry.
+REQUIRED_KEYS = (
+    "schema",
+    "schema_version",
+    "experiment",
+    "title",
+    "cells",
+    "totals",
+    "tables",
+)
+
+#: Keys every cell of an artifact must carry.
+REQUIRED_CELL_KEYS = ("config", "fingerprint", "rows", "wall_seconds")
+
+
+def artifact_filename(experiment_id: str) -> str:
+    """Canonical artifact name for an experiment (``e1`` -> ``BENCH_E1.json``)."""
+    return f"BENCH_{experiment_id.strip().upper()}.json"
+
+
+def build_artifact(
+    *,
+    experiment_id: str,
+    title: str,
+    cells: List[Dict[str, object]],
+    tables: List[str],
+) -> Dict[str, object]:
+    """Assemble a schema-versioned artifact document.
+
+    ``cells`` entries come from the runner: each holds the serialised
+    :class:`~repro.bench.config.SweepConfig`, its fingerprint, the result
+    rows and the measured wall-clock.  Totals aggregate the charged PRAM
+    cost columns over every row that carries them, giving one
+    regression-trackable number per experiment.
+    """
+    totals: Dict[str, int] = {"time": 0, "work": 0, "charged_work": 0}
+    n_rows = 0
+    for cell in cells:
+        for row in cell["rows"]:  # type: ignore[union-attr]
+            n_rows += 1
+            for key in totals:
+                value = row.get(key) if isinstance(row, Mapping) else None
+                if isinstance(value, (int, float)):
+                    totals[key] += int(value)
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "experiment": experiment_id,
+        "title": title,
+        "cells": cells,
+        "totals": {
+            **totals,
+            "rows": n_rows,
+            "wall_seconds": round(sum(float(c["wall_seconds"]) for c in cells), 6),
+        },
+        "tables": tables,
+    }
+
+
+def validate_artifact(document: Mapping[str, object]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a readable artifact."""
+    missing = [k for k in REQUIRED_KEYS if k not in document]
+    if missing:
+        raise ValueError(f"benchmark artifact is missing keys: {missing}")
+    if document["schema"] != SCHEMA_NAME:
+        raise ValueError(
+            f"not a {SCHEMA_NAME} artifact (schema={document['schema']!r})"
+        )
+    version = document["schema_version"]
+    if not isinstance(version, int) or version > SCHEMA_VERSION or version < 1:
+        raise ValueError(
+            f"unsupported schema_version {version!r}; this reader supports "
+            f"1..{SCHEMA_VERSION}"
+        )
+    cells = document["cells"]
+    if not isinstance(cells, list):
+        raise ValueError("artifact 'cells' must be a list")
+    for i, cell in enumerate(cells):
+        cell_missing = [k for k in REQUIRED_CELL_KEYS if k not in cell]
+        if cell_missing:
+            raise ValueError(f"artifact cell {i} is missing keys: {cell_missing}")
+
+
+def write_artifact(
+    document: Mapping[str, object],
+    out_dir: str,
+    *,
+    filename: Optional[str] = None,
+) -> str:
+    """Validate and write an artifact; returns the written path."""
+    validate_artifact(document)
+    name = filename or artifact_filename(str(document["experiment"]))
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=False, default=str)
+        fh.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> Dict[str, object]:
+    """Read an artifact back, validating the schema."""
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    validate_artifact(document)
+    return document

@@ -1,0 +1,141 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Examples
+--------
+
+Run two experiments over a custom sweep and write ``BENCH_E1.json`` /
+``BENCH_E2.json`` into the current directory::
+
+    python -m repro.bench --experiments e1,e2 --sizes 256,1024
+
+Full nightly sweep on the no-audit fast path::
+
+    python -m repro.bench --experiments all --no-audit --out-dir bench-out
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .config import SweepConfig
+from .registry import experiment_ids, get_experiment
+from .runner import BenchmarkRunner
+
+
+def _parse_ids(raw: str) -> List[str]:
+    if raw.strip().lower() == "all":
+        return experiment_ids()
+    ids = [piece.strip().lower() for piece in raw.split(",") if piece.strip()]
+    if not ids:
+        raise argparse.ArgumentTypeError("no experiment ids given")
+    for experiment_id in ids:
+        try:
+            get_experiment(experiment_id)
+        except KeyError as err:
+            raise argparse.ArgumentTypeError(str(err).strip('"'))
+    return ids
+
+
+def _parse_sizes(raw: str) -> List[int]:
+    try:
+        sizes = [int(piece) for piece in raw.split(",") if piece.strip()]
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(f"bad size list {raw!r}: {err}")
+    if not sizes or any(s <= 0 for s in sizes):
+        raise argparse.ArgumentTypeError("sizes must be positive integers")
+    return sizes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the experiment suite and persist BENCH_E*.json artifacts.",
+    )
+    parser.add_argument(
+        "--experiments", "-e", type=_parse_ids, default=None,
+        help="comma-separated experiment ids (e1..e10) or 'all' (default: all)",
+    )
+    parser.add_argument(
+        "--sizes", "-n", type=_parse_sizes, default=None,
+        help="comma-separated size sweep; applied to every experiment that "
+             "has a sweep axis (E5 interprets it as cycle counts)",
+    )
+    parser.add_argument(
+        "--workload", "-w", default=None,
+        help="named workload for the experiments that accept one",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generator seed (default 0)")
+    parser.add_argument(
+        "--no-audit", action="store_true",
+        help="run on the no-audit fast path (skips PRAM conflict validation; "
+             "charged cost is unchanged)",
+    )
+    parser.add_argument(
+        "--out-dir", "-o", default=".",
+        help="directory for BENCH_E*.json artifacts (default: current directory)",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="run and print, but do not write artifacts",
+    )
+    parser.add_argument("--quiet", "-q", action="store_true", help="suppress table output")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="list registered experiments and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_experiments:
+        for experiment_id in experiment_ids():
+            spec = get_experiment(experiment_id)
+            print(f"{spec.id:>4}  {spec.title}")
+        return 0
+
+    if args.workload is not None:
+        from ..analysis.workloads import get_workload
+
+        try:
+            get_workload(args.workload)
+        except KeyError as err:
+            print(f"error: {str(err).strip(chr(34))}", file=sys.stderr)
+            return 2
+
+    ids = args.experiments if args.experiments is not None else experiment_ids()
+    echo = None if args.quiet else print
+    configs = []
+    for experiment_id in ids:
+        spec = get_experiment(experiment_id)
+        # Only stamp audit=False into configs of experiments that actually
+        # honour it — recording it elsewhere would poison the cell
+        # fingerprints with a setting that was never applied.
+        audit = False if (args.no_audit and spec.supports_audit) else None
+        if args.no_audit and not spec.supports_audit and echo:
+            echo(f"[repro.bench] note: {spec.id} has no audit toggle; running as usual")
+        configs.append(
+            SweepConfig(
+                experiment=spec.id,
+                sizes=tuple(args.sizes) if args.sizes and spec.size_arg else None,
+                workload=args.workload if spec.supports_workload else None,
+                seed=args.seed,
+                audit=audit,
+            )
+        )
+    runner = BenchmarkRunner(
+        out_dir=None if args.dry_run else args.out_dir,
+        echo=echo,
+    )
+    results = runner.run(configs)
+    written = [r.path for r in results.values() if r.path]
+    if echo and written:
+        echo("\n[repro.bench] artifacts: " + ", ".join(written))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Declarative sweep configuration for the benchmark runner.
+
+A :class:`SweepConfig` describes one *cell* of the benchmark matrix: which
+experiment to run, over which sizes/workload/seed, audited or not, plus any
+experiment-specific parameters.  Configs are plain data — hashable,
+JSON-serialisable and fingerprinted — so a ``BENCH_E*.json`` artifact can
+state exactly which configuration produced its numbers and a later run can
+detect whether two artifacts are comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+
+def _freeze(params: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One declarative cell of the benchmark matrix.
+
+    Attributes
+    ----------
+    experiment:
+        Experiment id (``"e1"`` .. ``"e10"``); resolved against
+        :mod:`repro.bench.registry`.
+    sizes:
+        Size sweep for scaling experiments; ``None`` keeps the experiment's
+        registered default.  For experiments whose sweep axis is not called
+        "sizes" (e.g. E5's cycle counts) the registry maps this onto the
+        right argument.
+    workload:
+        Named workload (see :mod:`repro.analysis.workloads`) for the
+        experiments that accept one; ``None`` keeps the default.
+    seed:
+        Seed forwarded to the experiment's generators.
+    audit:
+        ``False`` runs on the no-audit fast path where the experiment
+        supports it; ``None``/``True`` keeps conflict auditing on.
+    params:
+        Extra keyword arguments forwarded verbatim to the experiment
+        runner (e.g. ``{"string_family": "binary"}`` for E3).
+    """
+
+    experiment: str
+    sizes: Optional[Tuple[int, ...]] = None
+    workload: Optional[str] = None
+    seed: int = 0
+    audit: Optional[bool] = None
+    params: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.sizes is not None:
+            object.__setattr__(self, "sizes", tuple(int(s) for s in self.sizes))
+        if isinstance(self.params, Mapping):
+            object.__setattr__(self, "params", _freeze(self.params))
+
+    @property
+    def extra(self) -> Dict[str, object]:
+        """The experiment-specific parameters as a plain dict."""
+        return dict(self.params)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view of the config (stable key order)."""
+        return {
+            "experiment": self.experiment,
+            "sizes": list(self.sizes) if self.sizes is not None else None,
+            "workload": self.workload,
+            "seed": self.seed,
+            "audit": self.audit,
+            "params": {k: v for k, v in self.params},
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the configuration.
+
+        Two runs with equal fingerprints measured the same cell, so their
+        numbers are directly comparable across commits — the property the
+        perf-trajectory artifacts rely on.
+        """
+        canonical = json.dumps(self.as_dict(), sort_keys=True, default=str)
+        return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepConfig":
+        sizes = data.get("sizes")
+        return cls(
+            experiment=str(data["experiment"]),
+            sizes=tuple(int(s) for s in sizes) if sizes is not None else None,
+            workload=data.get("workload"),  # type: ignore[arg-type]
+            seed=int(data.get("seed", 0)),
+            audit=data.get("audit"),  # type: ignore[arg-type]
+            params=_freeze(data.get("params", {}) or {}),
+        )

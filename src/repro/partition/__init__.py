@@ -18,6 +18,7 @@ Entry points
   :func:`same_partition`, :func:`is_stable`, :func:`refines`.
 """
 
+from .batch import BatchItemReport, BatchResult, solve_batch
 from .baseline_parallel import (
     galley_iliopoulos_partition,
     naive_parallel_partition,
@@ -74,6 +75,9 @@ __all__ = [
     "partition_cycles_sorting",
     "jaja_ryu_partition",
     "coarsest_partition",
+    "solve_batch",
+    "BatchResult",
+    "BatchItemReport",
     "galley_iliopoulos_partition",
     "srikant_partition",
     "naive_parallel_partition",

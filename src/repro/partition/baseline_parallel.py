@@ -30,14 +30,10 @@ from typing import Optional
 
 import numpy as np
 
-from ..pram.machine import Machine
+from ..pram.machine import Machine, resolve_machine
 from ..primitives.merge import merge_sort
 from ..types import PartitionResult
 from .problem import SFCPInstance, canonical_labels, num_blocks
-
-
-def _ensure_machine(machine: Optional[Machine]) -> Machine:
-    return machine if machine is not None else Machine.default()
 
 
 def galley_iliopoulos_partition(
@@ -45,10 +41,11 @@ def galley_iliopoulos_partition(
     initial_labels,
     *,
     machine: Optional[Machine] = None,
+    audit: Optional[bool] = None,
 ) -> PartitionResult:
     """Label doubling with BB-table re-ranking: O(log n) time, O(n log n) work."""
     instance = SFCPInstance.from_arrays(function, initial_labels)
-    m = _ensure_machine(machine)
+    m = resolve_machine(machine, audit)
     f = instance.function
     n = instance.n
     with m.span("galley_iliopoulos"):
@@ -81,6 +78,7 @@ def srikant_partition(
     initial_labels,
     *,
     machine: Optional[Machine] = None,
+    audit: Optional[bool] = None,
 ) -> PartitionResult:
     """Label doubling with comparison-sort re-ranking: O(log² n) time.
 
@@ -89,7 +87,7 @@ def srikant_partition(
     CREW-legal way to densify codes) and replaces each pair by its rank.
     """
     instance = SFCPInstance.from_arrays(function, initial_labels)
-    m = _ensure_machine(machine)
+    m = resolve_machine(machine, audit)
     f = instance.function
     n = instance.n
     with m.span("srikant"):
@@ -120,6 +118,7 @@ def naive_parallel_partition(
     initial_labels,
     *,
     machine: Optional[Machine] = None,
+    audit: Optional[bool] = None,
     max_n: int = 2048,
 ) -> PartitionResult:
     """All-pairs refinement: O(log n) rounds of O(n²) work each.
@@ -132,7 +131,7 @@ def naive_parallel_partition(
         raise ValueError(
             f"naive_parallel_partition is limited to n <= {max_n} (quadratic work)"
         )
-    m = _ensure_machine(machine)
+    m = resolve_machine(machine, audit)
     f = instance.function
     n = instance.n
     with m.span("naive_parallel"):

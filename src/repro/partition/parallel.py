@@ -22,7 +22,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..pram.machine import Machine
+from ..pram.machine import Machine, resolve_machine
 from ..primitives.integer_sort import SortCostModel
 from ..types import PartitionResult
 from .cycle_detection import find_cycle_nodes
@@ -36,6 +36,7 @@ def jaja_ryu_partition(
     initial_labels,
     *,
     machine: Optional[Machine] = None,
+    audit: Optional[bool] = None,
     cost_model: SortCostModel = SortCostModel.CHARGED,
     msp_algorithm: str = "efficient",
 ) -> PartitionResult:
@@ -49,6 +50,12 @@ def jaja_ryu_partition(
     machine:
         PRAM simulator to charge; a fresh arbitrary-CRCW machine is created
         when omitted (inspect ``result.cost`` for the accounting).
+    audit:
+        Override for the machine's conflict-auditing flag.  ``audit=False``
+        selects the no-audit fast path end-to-end (cost is still charged,
+        access patterns are not validated); ``None`` keeps the machine's
+        setting.  When a machine is supplied the override runs on a
+        span-preserving clone, leaving the caller's machine untouched.
     cost_model:
         Whether black-box substrates (integer sorting, residual-forest
         scheduling) charge their published bounds (default) or the
@@ -63,7 +70,7 @@ def jaja_ryu_partition(
         Canonical Q-labels, the block count, and the cost summary.
     """
     instance = SFCPInstance.from_arrays(function, initial_labels)
-    m = machine if machine is not None else Machine.default()
+    m = resolve_machine(machine, audit)
     f = instance.function
     n = instance.n
 
@@ -114,14 +121,16 @@ def coarsest_partition(
     *,
     algorithm: str = "jaja-ryu",
     machine: Optional[Machine] = None,
+    audit: Optional[bool] = None,
     **kwargs,
 ) -> PartitionResult:
     """Dispatch to any of the implemented coarsest-partition algorithms.
 
     ``algorithm`` is one of ``"jaja-ryu"`` (default), ``"galley-iliopoulos"``,
     ``"srikant"``, ``"naive-parallel"``, ``"paige-tarjan-bonic"``,
-    ``"hopcroft"`` or ``"naive"``.  Keyword arguments are forwarded to the
-    selected implementation.
+    ``"hopcroft"`` or ``"naive"``.  ``audit=False`` selects the no-audit
+    fast path on whichever implementation is chosen.  Keyword arguments are
+    forwarded to the selected implementation.
     """
     from .baseline_parallel import (
         galley_iliopoulos_partition,
@@ -143,4 +152,4 @@ def coarsest_partition(
     }
     if algorithm not in dispatch:
         raise ValueError(f"unknown algorithm {algorithm!r}; choose from {sorted(dispatch)}")
-    return dispatch[algorithm](function, initial_labels, machine=machine, **kwargs)
+    return dispatch[algorithm](function, initial_labels, machine=machine, audit=audit, **kwargs)

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
-from ..pram.machine import Machine
+from ..pram.machine import Machine, resolve_machine
 from ..types import PartitionResult
 from .problem import SFCPInstance, canonical_labels, num_blocks
 
@@ -31,6 +31,7 @@ def hopcroft_partition(
     initial_labels,
     *,
     machine: Optional[Machine] = None,
+    audit: Optional[bool] = None,
 ) -> PartitionResult:
     """Coarsest partition via smaller-half partition refinement (O(n log n)).
 
@@ -38,7 +39,7 @@ def hopcroft_partition(
     unit of both time and work.
     """
     instance = SFCPInstance.from_arrays(function, initial_labels)
-    m = machine if machine is not None else Machine.default()
+    m = resolve_machine(machine, audit)
     f = instance.function
     n = instance.n
 

@@ -30,7 +30,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..graphs.functional_graph import analyze_structure, cycle_members
-from ..pram.machine import Machine
+from ..pram.machine import Machine, resolve_machine
 from ..strings.msp_sequential import booth_msp
 from ..strings.period import smallest_circular_period
 from ..types import PartitionResult
@@ -42,10 +42,11 @@ def linear_partition(
     initial_labels,
     *,
     machine: Optional[Machine] = None,
+    audit: Optional[bool] = None,
 ) -> PartitionResult:
     """Coarsest partition in linear sequential time (see module docstring)."""
     instance = SFCPInstance.from_arrays(function, initial_labels)
-    m = machine if machine is not None else Machine.default()
+    m = resolve_machine(machine, audit)
     f = instance.function
     labels_b = instance.initial_labels
     n = instance.n

@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..pram.machine import Machine
+from ..pram.machine import Machine, resolve_machine
 from ..types import PartitionResult
 from .problem import SFCPInstance, canonical_labels, num_blocks, validate_labels
 
@@ -24,6 +24,7 @@ def naive_partition(
     initial_labels,
     *,
     machine: Optional[Machine] = None,
+    audit: Optional[bool] = None,
 ) -> PartitionResult:
     """Coarsest partition by naive iterative refinement (O(n²) worst case).
 
@@ -31,7 +32,7 @@ def naive_partition(
     elementary label updates performed.
     """
     instance = SFCPInstance.from_arrays(function, initial_labels)
-    m = machine if machine is not None else Machine.default()
+    m = resolve_machine(machine, audit)
     f = instance.function
     n = instance.n
     labels = canonical_labels(instance.initial_labels)

@@ -17,7 +17,7 @@ Quick tour
 (2, 16)
 """
 
-from .machine import Machine
+from .machine import Machine, resolve_machine
 from .memory import SharedArray, SparseTable
 from .metrics import (
     CostCounter,
@@ -50,6 +50,7 @@ from .instrumentation import (
 
 __all__ = [
     "Machine",
+    "resolve_machine",
     "SharedArray",
     "SparseTable",
     "CostCounter",

@@ -38,8 +38,50 @@ from .models import ArbitraryWinner, PramModel, arbitrary_crcw
 ArrayLike = Union[SharedArray, np.ndarray]
 
 
+def resolve_machine(machine: "Optional[Machine]", audit: Optional[bool] = None) -> "Machine":
+    """Return the machine an entry point should run on.
+
+    ``machine=None`` yields a fresh default machine with the requested
+    ``audit`` setting (auditing on when ``audit`` is ``None``); an explicit
+    machine is returned as-is unless ``audit`` differs from its flag, in
+    which case a span-preserving clone with the override is returned.
+    """
+    if machine is None:
+        return Machine.default(audit=True if audit is None else audit)
+    return machine.resolve(audit)
+
+
 def _data(arr: ArrayLike) -> np.ndarray:
     return arr.data if isinstance(arr, SharedArray) else arr
+
+
+_INT64_MAX = 2**63 - 1
+
+
+def _encode_pairs(ka: np.ndarray, kb: np.ndarray) -> "tuple[np.ndarray, int]":
+    """Flatten pair addresses ``(ka, kb)`` into ``ka * span + kb``.
+
+    Validates that the keys are non-negative and that the flat encoding
+    fits in int64 — silent wrap-around would alias distinct ``BB``-table
+    cells and corrupt the arbitrary-CRCW winner resolution.  The check is
+    done in Python integers, which do not overflow.
+    """
+    ka_max = int(ka.max())
+    kb_min = int(kb.min())
+    ka_min = int(ka.min())
+    span = int(kb.max()) + 1
+    if ka_min < 0 or kb_min < 0:
+        raise ValueError(
+            f"pair keys must be non-negative (got min keys_a={ka_min}, "
+            f"min keys_b={kb_min}); negative keys would alias table cells"
+        )
+    if ka_max * span + (span - 1) > _INT64_MAX:
+        raise ValueError(
+            f"pair encoding overflows int64: max(keys_a)={ka_max} with "
+            f"span={span} needs {ka_max * span + span - 1} > 2**63-1; "
+            "re-rank the keys into a denser range first"
+        )
+    return ka * span + kb, span
 
 
 class Machine:
@@ -81,9 +123,25 @@ class Machine:
         """An arbitrary-CRCW machine with default settings."""
         return cls(arbitrary_crcw(), **kwargs)
 
-    def clone_for(self, model: PramModel) -> "Machine":
-        """A machine sharing this machine's counter but a different model."""
-        return Machine(model, counter=self.counter, audit=self.audit)
+    def clone_for(self, model: PramModel, *, audit: Optional[bool] = None) -> "Machine":
+        """A machine sharing this machine's counter but a different model.
+
+        The clone charges the *same* :class:`CostCounter`, so any open
+        span stack is preserved: cost charged through the clone keeps
+        accruing to the caller's current phase.  It also shares this
+        machine's random generator, so seeded RANDOM-winner draws continue
+        the caller's stream instead of restarting at the default seed.
+        ``audit`` overrides the conflict-checking flag for the clone
+        (inherited when ``None``), which is how the no-audit fast path is
+        threaded through algorithms without mutating the caller's machine.
+        """
+        clone = Machine(
+            model,
+            counter=self.counter,
+            audit=self.audit if audit is None else audit,
+        )
+        clone.rng = self.rng
+        return clone
 
     def with_winner(self, winner: ArbitraryWinner) -> "Machine":
         """A machine identical to this one but with a different write winner."""
@@ -183,11 +241,19 @@ class Machine:
             uniq, winners = self.model.write.resolve(idx, vals, rng=self.rng)
             data[uniq] = winners
         else:
-            # Unaudited fast path keeps arbitrary-CRCW "first writer wins"
-            # semantics deterministic: later duplicate indices must not
-            # overwrite earlier ones, so reverse before scatter (NumPy keeps
-            # the last assignment per duplicate index).
-            data[idx[::-1]] = vals[::-1]
+            winner = self.model.write.winner
+            if winner is ArbitraryWinner.FIRST:
+                # Later duplicate indices must not overwrite earlier ones, so
+                # reverse before scatter (NumPy keeps the last assignment per
+                # duplicate index).
+                data[idx[::-1]] = vals[::-1]
+            elif winner is ArbitraryWinner.LAST:
+                data[idx] = vals
+            else:
+                # RANDOM needs the grouped resolution anyway; reuse it (the
+                # fast path only skips validation, not winner semantics).
+                uniq, winners = self.model.write.resolve(idx, vals, rng=self.rng)
+                data[uniq] = winners
 
     def concurrent_write_pairs(
         self,
@@ -213,10 +279,21 @@ class Machine:
             self.counter.tick(len(ka))
         if len(ka) == 0:
             return
-        # Encode the pair into a single address for conflict resolution.
-        span = int(kb.max()) + 1 if len(kb) else 1
-        flat = ka * span + kb
-        uniq, winners = self.model.write.resolve(flat, vals, rng=self.rng)
+        flat, span = _encode_pairs(ka, kb)
+        winner = self.model.write.winner
+        if not self.audit and winner is ArbitraryWinner.FIRST:
+            # Unaudited fast path: skip the model's conflict validation;
+            # np.unique's first-occurrence index IS the FIRST-winner policy.
+            uniq, first = np.unique(flat, return_index=True)
+            winners = vals[first]
+        elif not self.audit and winner is ArbitraryWinner.LAST:
+            rev_uniq, rev_first = np.unique(flat[::-1], return_index=True)
+            uniq, winners = rev_uniq, vals[::-1][rev_first]
+        else:
+            # Audited, or RANDOM winner (which needs grouped resolution —
+            # the fast path must not change winner semantics, only skip
+            # validation).
+            uniq, winners = self.model.write.resolve(flat, vals, rng=self.rng)
         table.store(uniq // span, uniq % span, winners)
 
     def concurrent_read_pairs(
@@ -234,8 +311,8 @@ class Machine:
         if charge:
             self.counter.tick(len(ka))
         if self.audit and not self.model.read.allow_concurrent and len(ka) > 1:
-            span = int(kb.max()) + 1 if len(kb) else 1
-            self.model.read.check(ka * span + kb)
+            flat, _span = _encode_pairs(ka, kb)
+            self.model.read.check(flat)
         return table.load(ka, kb, default=default)
 
     # ------------------------------------------------------------------
@@ -254,6 +331,20 @@ class Machine:
         n = len(_data(arrays[0]))
         self.counter.tick(n, rounds=rounds)
         return func(*[_data(a) for a in arrays])
+
+    def resolve(self, audit: Optional[bool]) -> "Machine":
+        """This machine, or a span-preserving clone with ``audit`` overridden.
+
+        Entry points that accept both a caller-supplied machine and an
+        ``audit`` flag use this to honour the flag without mutating the
+        caller's machine: ``None`` (or a matching flag) returns ``self``
+        unchanged, a differing flag returns :meth:`clone_for` of the same
+        model with the requested auditing — the clone shares the counter,
+        so open spans keep attributing cost correctly.
+        """
+        if audit is None or audit == self.audit:
+            return self
+        return self.clone_for(self.model, audit=audit)
 
     def select(self, mask: np.ndarray) -> np.ndarray:
         """Return indices where ``mask`` is true (charged as one step).

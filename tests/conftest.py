@@ -3,6 +3,7 @@ import numpy as np
 import pytest
 
 from repro.pram import Machine, arbitrary_crcw
+from repro.testing import random_open_list  # noqa: F401  (re-export for older tests)
 
 
 @pytest.fixture
@@ -15,14 +16,3 @@ def rng():
 def machine():
     """A fresh default (arbitrary CRCW) machine per test."""
     return Machine(arbitrary_crcw())
-
-
-def random_open_list(rng, n):
-    """Successor array of a random open list plus expected rank-to-tail."""
-    perm = rng.permutation(n)
-    succ = np.empty(n, dtype=np.int64)
-    succ[perm[:-1]] = perm[1:]
-    succ[perm[-1]] = perm[-1]
-    expect = np.empty(n, dtype=np.int64)
-    expect[perm] = np.arange(n)[::-1]
-    return succ, expect, perm

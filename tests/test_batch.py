@@ -1,0 +1,123 @@
+"""Tests for solve_batch sharding and the end-to-end no-audit fast path."""
+import numpy as np
+import pytest
+
+from repro.graphs.generators import random_function, random_permutation, tree_heavy
+from repro.partition import (
+    coarsest_partition,
+    jaja_ryu_partition,
+    linear_partition,
+    same_partition,
+    solve_batch,
+)
+from repro.pram import Machine
+
+
+def _mixed_batch(seed=0, sizes=(48, 37, 64, 21)):
+    generators = [random_function, random_permutation, tree_heavy]
+    return [
+        generators[i % len(generators)](n, num_labels=2 + i % 3, seed=seed + i)
+        for i, n in enumerate(sizes)
+    ]
+
+
+@pytest.mark.parametrize("mode", ["packed", "sequential"])
+def test_solve_batch_matches_per_instance_runs(mode):
+    instances = _mixed_batch()
+    batch = solve_batch(instances, mode=mode)
+    assert len(batch) == len(instances)
+    for (f, b), result in zip(instances, batch.results):
+        reference = linear_partition(f, b)
+        assert same_partition(result.labels, reference.labels)
+        assert result.num_blocks == reference.num_blocks
+
+
+@pytest.mark.parametrize("mode", ["packed", "sequential"])
+def test_solve_batch_audit_false_same_labels(mode):
+    instances = _mixed_batch(seed=7)
+    audited = solve_batch(instances, mode=mode, audit=True)
+    fast = solve_batch(instances, mode=mode, audit=False)
+    for a, f in zip(audited.results, fast.results):
+        assert np.array_equal(a.labels, f.labels)
+    # skipping the audit must not change the charged accounting
+    assert audited.cost.time == fast.cost.time
+    assert audited.cost.work == fast.cost.work
+
+
+def test_jaja_ryu_audit_false_parity_on_mixed_workload():
+    # acceptance criterion: the no-audit fast path produces identical
+    # partition labels to the audited path on a mixed workload
+    f, b = random_function(1024, num_labels=3, seed=0)
+    audited = jaja_ryu_partition(f, b, audit=True)
+    fast = jaja_ryu_partition(f, b, audit=False)
+    assert np.array_equal(audited.labels, fast.labels)
+    assert audited.num_blocks == fast.num_blocks
+    assert audited.cost.time == fast.cost.time
+    assert audited.cost.work == fast.cost.work
+    assert audited.cost.charged_work == fast.cost.charged_work
+
+
+@pytest.mark.parametrize("algorithm", ["jaja-ryu", "galley-iliopoulos", "srikant"])
+def test_coarsest_partition_audit_flag_all_algorithms(algorithm):
+    f, b = random_function(300, num_labels=3, seed=5)
+    audited = coarsest_partition(f, b, algorithm=algorithm, audit=True)
+    fast = coarsest_partition(f, b, algorithm=algorithm, audit=False)
+    assert np.array_equal(audited.labels, fast.labels)
+
+
+def test_sequential_attribution_sums_to_total():
+    instances = _mixed_batch(seed=3)
+    batch = solve_batch(instances, mode="sequential")
+    assert sum(item.work for item in batch.per_instance) == batch.cost.work
+    assert sum(item.time for item in batch.per_instance) == batch.cost.time
+
+
+def test_packed_attribution_shares_work_and_time():
+    instances = _mixed_batch(seed=4)
+    batch = solve_batch(instances, mode="packed")
+    total_n = sum(len(f) for f, _ in instances)
+    # all instances ran concurrently: each sees the batch time
+    times = {item.time for item in batch.per_instance}
+    assert len(times) == 1
+    # work shares are proportional to size and sum to ~the union's work
+    assert abs(sum(item.work for item in batch.per_instance) - batch.cost.work) <= len(instances)
+    for (f, _), item in zip(instances, batch.per_instance):
+        assert item.n == len(f)
+
+
+def test_solve_batch_shares_one_machine():
+    instances = _mixed_batch(seed=9, sizes=(30, 41))
+    machine = Machine.default()
+    batch = solve_batch(instances, machine=machine, mode="sequential")
+    assert machine.work == batch.cost.work > 0
+    rows = batch.as_rows()
+    assert rows[0]["instance"] == 0 and rows[1]["instance"] == 1
+
+
+def test_solve_batch_empty_and_bad_mode():
+    assert len(solve_batch([])) == 0
+    with pytest.raises(ValueError, match="batch mode"):
+        solve_batch(_mixed_batch(), mode="parallel")
+
+
+def test_solve_batch_accepts_instances_and_forwards_kwargs():
+    from repro.partition import SFCPInstance
+
+    pairs = _mixed_batch(seed=11, sizes=(25, 33))
+    as_instances = [SFCPInstance.from_arrays(f, b) for f, b in pairs]
+    batch = solve_batch(as_instances, algorithm="paige-tarjan-bonic")
+    for (f, b), result in zip(pairs, batch.results):
+        assert same_partition(result.labels, linear_partition(f, b).labels)
+
+
+@pytest.mark.parametrize("mode", ["packed", "sequential"])
+def test_batch_cost_is_delta_on_a_reused_machine(mode):
+    # a shared machine carries charges from earlier batches; BatchResult.cost
+    # must report only this batch's delta
+    machine = Machine.default()
+    first = solve_batch(_mixed_batch(seed=1, sizes=(20, 30)), machine=machine, mode=mode)
+    second = solve_batch(_mixed_batch(seed=2, sizes=(20, 30)), machine=machine, mode=mode)
+    assert first.cost.work > 0 and second.cost.work > 0
+    assert machine.work == first.cost.work + second.cost.work
+    if mode == "sequential":
+        assert sum(i.work for i in second.per_instance) == second.cost.work

@@ -1,0 +1,162 @@
+"""Tests for the repro.bench runner subsystem: configs, artifacts, CLI."""
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    BenchmarkRunner,
+    SweepConfig,
+    artifact_filename,
+    experiment_ids,
+    get_experiment,
+    load_artifact,
+    validate_artifact,
+)
+from repro.bench.cli import main as bench_main
+
+
+# ----------------------------------------------------------------------
+# SweepConfig
+# ----------------------------------------------------------------------
+def test_sweep_config_fingerprint_is_stable_and_content_sensitive():
+    a = SweepConfig("e1", sizes=(256, 1024), workload="mixed", seed=0)
+    b = SweepConfig("e1", sizes=[256, 1024], workload="mixed", seed=0)
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint().startswith("sha256:")
+    assert a.fingerprint() != SweepConfig("e1", sizes=(256, 2048), workload="mixed").fingerprint()
+    assert a.fingerprint() != SweepConfig("e1", sizes=(256, 1024), workload="mixed", audit=False).fingerprint()
+
+
+def test_sweep_config_dict_round_trip():
+    config = SweepConfig("e3", sizes=(512,), seed=3, params={"string_family": "binary"})
+    clone = SweepConfig.from_dict(json.loads(json.dumps(config.as_dict())))
+    assert clone == config
+    assert clone.fingerprint() == config.fingerprint()
+    assert clone.extra == {"string_family": "binary"}
+
+
+def test_registry_maps_config_onto_runner_kwargs():
+    spec = get_experiment("e5")
+    kwargs = spec.build_kwargs(SweepConfig("e5", sizes=(4, 8), seed=2))
+    assert kwargs["cycle_counts"] == (4, 8)  # E5's sweep axis is cycle counts
+    assert kwargs["length"] == 32 and kwargs["seed"] == 2
+    assert "audit" not in kwargs and "workload" not in kwargs
+
+    e1 = get_experiment("e1").build_kwargs(
+        SweepConfig("e1", sizes=(64,), workload="permutation", audit=False)
+    )
+    assert e1["sizes"] == (64,) and e1["workload"] == "permutation" and e1["audit"] is False
+
+
+def test_registry_rejects_unknown_experiment():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("e99")
+    assert experiment_ids() == [f"e{i}" for i in range(1, 11)]
+
+
+# ----------------------------------------------------------------------
+# runner + artifacts
+# ----------------------------------------------------------------------
+def test_runner_writes_schema_versioned_artifact(tmp_path):
+    runner = BenchmarkRunner(out_dir=str(tmp_path))
+    result = runner.run_experiment([SweepConfig("e1", sizes=(64, 128), workload="mixed")])
+    assert result.path == str(tmp_path / "BENCH_E1.json")
+    document = load_artifact(result.path)
+    assert document["schema"] == SCHEMA_NAME
+    assert document["schema_version"] == SCHEMA_VERSION
+    assert document["experiment"] == "e1"
+    assert document["totals"]["work"] > 0 and document["totals"]["rows"] == len(result.rows)
+    cell = document["cells"][0]
+    assert cell["fingerprint"] == SweepConfig.from_dict(cell["config"]).fingerprint()
+    assert cell["wall_seconds"] > 0
+    assert any("E1 (Table 1)" in table for table in document["tables"])
+
+
+def test_runner_merges_cells_of_one_experiment(tmp_path):
+    runner = BenchmarkRunner(out_dir=str(tmp_path))
+    result = runner.run_experiment([
+        SweepConfig("e3", sizes=(64,), params={"string_family": family})
+        for family in ("binary", "min_runs")
+    ])
+    assert len(result.cells) == 2
+    families = {r["family"] for r in result.rows}
+    assert families == {"binary", "min_runs"}
+
+
+def test_runner_rejects_mixed_experiments():
+    with pytest.raises(ValueError, match="several experiments"):
+        BenchmarkRunner().run_experiment([SweepConfig("e1"), SweepConfig("e2")])
+    with pytest.raises(ValueError, match="at least one"):
+        BenchmarkRunner().run_experiment([])
+
+
+def test_validate_artifact_rejects_bad_documents(tmp_path):
+    runner = BenchmarkRunner(out_dir=None)
+    result = runner.run_experiment([SweepConfig("e5", sizes=(4,))])
+    good = result.artifact
+    validate_artifact(good)  # no raise
+    with pytest.raises(ValueError, match="missing keys"):
+        validate_artifact({k: v for k, v in good.items() if k != "totals"})
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_artifact({**good, "schema_version": SCHEMA_VERSION + 1})
+    with pytest.raises(ValueError, match="not a"):
+        validate_artifact({**good, "schema": "something-else"})
+    bad_cell = {**good, "cells": [{"config": {}}]}
+    with pytest.raises(ValueError, match="cell 0 is missing"):
+        validate_artifact(bad_cell)
+
+
+def test_artifact_filename():
+    assert artifact_filename("e1") == "BENCH_E1.json"
+    assert artifact_filename("E10") == "BENCH_E10.json"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_writes_requested_artifacts(tmp_path):
+    # acceptance criterion: python -m repro.bench --experiments e1,e2
+    # --sizes ... writes schema-versioned BENCH_E1.json / BENCH_E2.json
+    rc = bench_main([
+        "--experiments", "e1,e2",
+        "--sizes", "64,128",
+        "--out-dir", str(tmp_path),
+        "--quiet",
+    ])
+    assert rc == 0
+    for name in ("BENCH_E1.json", "BENCH_E2.json"):
+        document = load_artifact(str(tmp_path / name))
+        assert document["schema_version"] == SCHEMA_VERSION
+        sizes = document["cells"][0]["config"]["sizes"]
+        assert sizes == [64, 128]
+    assert not (tmp_path / "BENCH_E3.json").exists()
+
+
+def test_cli_no_audit_is_recorded_in_the_artifact(tmp_path):
+    rc = bench_main(["-e", "e1", "-n", "64", "--no-audit", "-o", str(tmp_path), "-q"])
+    assert rc == 0
+    document = load_artifact(str(tmp_path / "BENCH_E1.json"))
+    assert document["cells"][0]["config"]["audit"] is False
+
+
+def test_cli_dry_run_writes_nothing(tmp_path):
+    rc = bench_main(["-e", "e5", "-n", "4", "--dry-run", "-o", str(tmp_path), "-q"])
+    assert rc == 0
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_cli_list(capsys):
+    assert bench_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "e1" in out and "e10" in out
+
+
+def test_multi_workload_cells_are_labelled_with_every_workload():
+    runner = BenchmarkRunner()
+    result = runner.run_experiment([
+        SweepConfig("e1", sizes=(64,), workload="mixed"),
+        SweepConfig("e1", sizes=(64,), workload="permutation"),
+    ])
+    assert any("workload=mixed,permutation" in table for table in result.tables)

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.pram import Machine
 from repro.primitives import optimal_rank, rank_cycle, wyllie_rank
-from .conftest import random_open_list
+from repro.testing import random_open_list, reversed_layout_list, sequential_layout_list
 
 
 @pytest.mark.parametrize("n", [1, 2, 3, 7, 64, 500])
@@ -76,3 +76,46 @@ def test_optimal_equals_wyllie_property(n, seed):
     rng = np.random.default_rng(seed)
     succ, expect, _ = random_open_list(rng, n)
     assert np.array_equal(optimal_rank(succ), wyllie_rank(succ))
+
+
+@pytest.mark.parametrize("spacing", [2, 3, 5, 64, 10**6])
+def test_optimal_rank_adversarial_ruler_spacing_random(spacing, rng, machine):
+    # extreme spacings: 2 (rulers everywhere, contraction degenerate) and
+    # 10**6 >> n (only tails/heads are rulers, one long sequential walk)
+    succ, expect, _ = random_open_list(rng, 200)
+    got = optimal_rank(succ, machine=machine, ruler_spacing=spacing)
+    assert np.array_equal(got, expect)
+
+
+@pytest.mark.parametrize("spacing", [2, 7, 10**6])
+def test_optimal_rank_sequential_layout_worst_case(spacing):
+    # array order == list order: every sublist between rulers has exactly
+    # `spacing` hops, the worst case for the array-position ruler choice
+    succ, expect = sequential_layout_list(257)
+    assert np.array_equal(optimal_rank(succ, ruler_spacing=spacing), expect)
+
+
+@pytest.mark.parametrize("spacing", [2, 7, 10**6])
+def test_optimal_rank_reversed_layout(spacing):
+    # array order is the exact reverse of list order
+    succ, expect = reversed_layout_list(130)
+    assert np.array_equal(optimal_rank(succ, ruler_spacing=spacing), expect)
+
+
+def test_optimal_rank_adversarial_spacing_many_lists(machine):
+    # several lists + singletons under a giant spacing (no periodic rulers)
+    succ = np.array([1, 2, 2, 4, 5, 5, 6, 8, 8])
+    expect = np.array([2, 1, 0, 2, 1, 0, 0, 1, 0])
+    got = optimal_rank(succ, machine=machine, ruler_spacing=10**6)
+    assert np.array_equal(got, expect)
+
+
+def test_optimal_rank_charged_cost_stays_honest_under_bad_spacing(rng):
+    # a degenerate spacing may cost more work, but the accounting must
+    # still be charged (non-zero, >= n) rather than assumed away
+    succ, expect = sequential_layout_list(512)
+    m = Machine.default()
+    got = optimal_rank(succ, machine=m, ruler_spacing=10**6)
+    assert np.array_equal(got, expect)
+    assert m.work >= 512
+    assert m.time >= 512  # the single sequential walk really is charged per hop

@@ -104,3 +104,99 @@ def test_clone_for_and_with_winner_share_counter():
     m3 = m.with_winner(ArbitraryWinner.LAST)
     m3.tick(2)
     assert m.work == 7
+
+
+def test_pair_write_rejects_negative_keys():
+    m = Machine.default()
+    table = m.sparse_table()
+    with pytest.raises(ValueError, match="non-negative"):
+        m.concurrent_write_pairs(table, np.array([-1, 2]), np.array([0, 1]), np.array([5, 6]))
+    with pytest.raises(ValueError, match="non-negative"):
+        m.concurrent_write_pairs(table, np.array([1, 2]), np.array([0, -3]), np.array([5, 6]))
+
+
+def test_pair_write_rejects_int64_overflow():
+    m = Machine.default()
+    table = m.sparse_table()
+    big = np.array([2**33, 1], dtype=np.int64)
+    wide = np.array([2**31, 0], dtype=np.int64)
+    # 2**33 * (2**31 + 1) > 2**63 - 1 would silently wrap and alias cells
+    with pytest.raises(ValueError, match="overflows int64"):
+        m.concurrent_write_pairs(table, big, wide, np.array([1, 2]))
+    assert table.num_cells_touched == 0
+
+
+def test_pair_write_unaudited_matches_audited_first_winner():
+    keys_a = np.array([0, 0, 1, 2, 2, 2])
+    keys_b = np.array([3, 3, 1, 0, 0, 5])
+    values = np.array([10, 20, 30, 40, 50, 60])
+    audited = Machine(arbitrary_crcw(ArbitraryWinner.FIRST), audit=True)
+    fast = Machine(arbitrary_crcw(ArbitraryWinner.FIRST), audit=False)
+    t_audited = audited.sparse_table()
+    t_fast = fast.sparse_table()
+    audited.concurrent_write_pairs(t_audited, keys_a, keys_b, values)
+    fast.concurrent_write_pairs(t_fast, keys_a, keys_b, values)
+    got_a = audited.concurrent_read_pairs(t_audited, keys_a, keys_b)
+    got_f = fast.concurrent_read_pairs(t_fast, keys_a, keys_b)
+    assert got_a.tolist() == got_f.tolist() == [10, 10, 30, 40, 40, 60]
+    # the fast path charges identical cost
+    assert (audited.time, audited.work) == (fast.time, fast.work)
+
+
+def test_clone_for_audit_override_is_span_preserving():
+    m = Machine.default()
+    with m.span("phase"):
+        clone = m.clone_for(m.model, audit=False)
+        assert clone.audit is False and m.audit is True
+        assert clone.counter is m.counter
+        clone.tick(7)
+    assert m.counter.span_cost("phase") == (1, 7)
+
+
+def test_machine_resolve_override():
+    from repro.pram import resolve_machine
+
+    m = Machine.default()
+    assert m.resolve(None) is m
+    assert m.resolve(True) is m
+    fast = m.resolve(False)
+    assert fast is not m and fast.audit is False and fast.counter is m.counter
+    fresh = resolve_machine(None, False)
+    assert fresh.audit is False
+    assert resolve_machine(m, None) is m
+
+
+@pytest.mark.parametrize("winner", list(ArbitraryWinner))
+def test_unaudited_pair_write_respects_winner_policy(winner):
+    keys_a = np.array([0, 0, 1, 1, 1, 2])
+    keys_b = np.array([4, 4, 2, 2, 2, 0])
+    values = np.array([1, 2, 3, 4, 5, 6])
+    audited = Machine(arbitrary_crcw(winner), seed=42, audit=True)
+    fast = Machine(arbitrary_crcw(winner), seed=42, audit=False)
+    t_audited, t_fast = audited.sparse_table(), fast.sparse_table()
+    audited.concurrent_write_pairs(t_audited, keys_a, keys_b, values)
+    fast.concurrent_write_pairs(t_fast, keys_a, keys_b, values)
+    got_a = audited.concurrent_read_pairs(t_audited, keys_a, keys_b)
+    got_f = fast.concurrent_read_pairs(t_fast, keys_a, keys_b)
+    assert got_a.tolist() == got_f.tolist()
+
+
+@pytest.mark.parametrize("winner", list(ArbitraryWinner))
+def test_unaudited_flat_write_respects_winner_policy(winner):
+    idx = np.array([0, 0, 1, 2, 2, 2])
+    vals = np.array([1, 2, 3, 4, 5, 6])
+    audited = Machine(arbitrary_crcw(winner), seed=7, audit=True)
+    fast = Machine(arbitrary_crcw(winner), seed=7, audit=False)
+    a = audited.alloc(3, fill=-1)
+    b = fast.alloc(3, fill=-1)
+    audited.write(a, idx, vals)
+    fast.write(b, idx, vals)
+    assert a.data.tolist() == b.data.tolist()
+
+
+def test_clone_for_shares_rng_stream():
+    # seeded RANDOM-winner draws must continue the caller's stream in a
+    # resolve()/clone_for() clone, not restart at the default seed
+    m = Machine(arbitrary_crcw(ArbitraryWinner.RANDOM), seed=42)
+    clone = m.resolve(False)
+    assert clone.rng is m.rng
