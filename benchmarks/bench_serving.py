@@ -1,0 +1,37 @@
+"""Serving — micro-batched service throughput/latency trajectory.
+
+Unlike E1–E10 this experiment measures the *service* wrapped around the
+paper's algorithm: a burst of concurrent solve requests is coalesced by
+the micro-batcher into packed ``solve_batch`` calls across sharded
+workers.  The ``BENCH_SERVING.json`` artifact tracks throughput, latency
+percentiles, batch occupancy and the aggregate charged PRAM cost across
+PRs (host-timing columns vary per machine; the PRAM totals are exact).
+"""
+import pytest
+
+from repro.bench import SweepConfig
+from repro.serving.bench import run_load
+
+SWEEP = (128, 256)
+
+
+def test_generate_table_serving(report, bench):
+    result = bench.run_experiment([
+        SweepConfig("serving", sizes=SWEEP, seed=0, params={"workers": 4, "requests": 64})
+    ])
+    rows = result.rows
+    report.extend(result.tables)
+    # acceptance: every request completes and the batcher actually batches
+    for row in rows:
+        assert row["completed"] == row["requests"]
+        assert row["multi_batches"] >= 1
+        assert row["charged_work"] > 0
+
+
+@pytest.mark.benchmark(group="serving")
+def test_bench_service_burst(benchmark):
+    def burst():
+        return run_load(workers=2, requests=16, size=128, seed=0, verify=False)
+
+    report = benchmark.pedantic(burst, rounds=1, iterations=1)
+    assert report.all_done

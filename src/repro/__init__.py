@@ -43,6 +43,7 @@ from .types import (
 from .pram import Machine, ArbitraryWinner, arbitrary_crcw, common_crcw, crew, erew
 from .partition import (
     SFCPInstance,
+    batch_compat_key,
     canonical_labels,
     coarsest_partition,
     galley_iliopoulos_partition,
@@ -67,7 +68,18 @@ from .graphs import (
     random_function,
 )
 
-__version__ = "0.1.0"
+
+def __getattr__(name):
+    # Lazy re-export: the serving stack (asyncio front end, worker pools)
+    # is a heavyweight import that plain library users never touch, so it
+    # loads only on first attribute access (PEP 562).
+    if name == "SolveService":
+        from .serving import SolveService
+
+        return SolveService
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__version__ = "0.3.0"
 
 __all__ = [
     "__version__",
@@ -93,6 +105,8 @@ __all__ = [
     "coarsest_partition",
     "jaja_ryu_partition",
     "solve_batch",
+    "batch_compat_key",
+    "SolveService",
     "galley_iliopoulos_partition",
     "srikant_partition",
     "linear_partition",

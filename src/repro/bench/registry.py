@@ -1,7 +1,8 @@
 """Registry of runnable experiments for the benchmark runner.
 
-Each :class:`ExperimentSpec` binds an experiment id (``e1`` .. ``e10``) to
-its runner in :mod:`repro.analysis.experiments`, describes how a
+Each :class:`ExperimentSpec` binds an experiment id (``e1`` .. ``e10``,
+plus named experiments like ``serving``) to its runner in
+:mod:`repro.analysis.experiments` (or :mod:`repro.serving.bench`), describes how a
 :class:`~repro.bench.config.SweepConfig` maps onto the runner's keyword
 arguments (the sweep axis is called ``sizes`` for most experiments but
 ``cycle_counts`` for E5, and E7/E8/E10 have no size sweep at all), and owns
@@ -90,6 +91,22 @@ def _render_e9(rows: List[Row], config: SweepConfig) -> List[str]:
 
 def _render_e10(rows: List[Row], config: SweepConfig) -> List[str]:
     return [render_table(rows, title="E10 (ablation): CRCW winner policy")]
+
+
+def _render_serving(rows: List[Row], config: SweepConfig) -> List[str]:
+    return [render_table(rows, columns=[
+        "n", "workers", "requests", "completed", "batches", "multi_batches",
+        "mean_occupancy", "throughput_rps", "p50_ms", "p95_ms", "p99_ms",
+        "time", "work", "charged_work"],
+        title="Serving: micro-batched service throughput/latency")]
+
+
+def _run_serving(**kwargs) -> List[Row]:
+    # Lazy import: the serving stack (asyncio front end, worker pools) is
+    # only needed when this experiment actually runs.
+    from ..serving.bench import run_serving_benchmark
+
+    return run_serving_benchmark(**kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +232,14 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             size_arg=None,
             default_params=(("k", 256), ("length", 32)),
         ),
+        ExperimentSpec(
+            id="serving",
+            title="Serving: micro-batched SFCP service throughput/latency",
+            runner=_run_serving,
+            render=_render_serving,
+            default_sizes=(128, 256),
+            default_params=(("workers", 4), ("requests", 64)),
+        ),
     )
 }
 
@@ -230,5 +255,12 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
 
 
 def experiment_ids() -> List[str]:
-    """All registered experiment ids in numeric order."""
-    return sorted(REGISTRY, key=lambda e: int(e[1:]))
+    """All registered experiment ids: e1..e10 in numeric order, then the
+    named experiments (e.g. ``serving``) alphabetically."""
+
+    def order(experiment_id: str):
+        if experiment_id[0] == "e" and experiment_id[1:].isdigit():
+            return (0, int(experiment_id[1:]), experiment_id)
+        return (1, 0, experiment_id)
+
+    return sorted(REGISTRY, key=order)

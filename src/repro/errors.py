@@ -76,3 +76,43 @@ class SchedulingError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment/benchmark harness was configured inconsistently."""
+
+
+class BatchError(ReproError, ValueError):
+    """A batch solving request is malformed.
+
+    Raised by :func:`repro.partition.solve_batch` for requests the sharding
+    layer must never produce — an empty batch, or a batch whose items carry
+    conflicting ``audit`` flags.  Schedulers group requests by
+    :func:`repro.partition.batch_compat_key` precisely so that neither can
+    happen; surfacing a dedicated error (rather than a deep stack trace from
+    inside the packing code) makes a scheduler bug immediately diagnosable.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serving` front end."""
+
+
+class QueueFullError(ServiceError):
+    """The ingress queue is at capacity and backpressure was not absorbed.
+
+    Raised by a non-blocking submit, or by a blocking submit whose wait for
+    queue space timed out.  Callers should slow down, retry later, or raise
+    the service's ``queue_capacity``.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline elapsed before the service could solve it.
+
+    Requests past their deadline are *shed*: they are dropped from the
+    ingress queue (or from a formed batch) and completed with a
+    ``JobStatus.SHED`` response instead of being solved late.
+    ``SolveResponse.raise_for_status()`` converts such a response into
+    this exception for callers that prefer raising APIs.
+    """
+
+
+class ServiceShutdownError(ServiceError):
+    """The service is draining or stopped and no longer accepts requests."""

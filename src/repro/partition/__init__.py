@@ -18,7 +18,7 @@ Entry points
   :func:`same_partition`, :func:`is_stable`, :func:`refines`.
 """
 
-from .batch import BatchItemReport, BatchResult, solve_batch
+from .batch import BatchItemReport, BatchResult, CompatKey, batch_compat_key, solve_batch
 from .baseline_parallel import (
     galley_iliopoulos_partition,
     naive_parallel_partition,
@@ -76,6 +76,8 @@ __all__ = [
     "jaja_ryu_partition",
     "coarsest_partition",
     "solve_batch",
+    "batch_compat_key",
+    "CompatKey",
     "BatchResult",
     "BatchItemReport",
     "galley_iliopoulos_partition",

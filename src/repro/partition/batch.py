@@ -30,16 +30,43 @@ Two sharding modes are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..errors import BatchError
 from ..pram.machine import Machine, resolve_machine
 from ..types import CostSummary, PartitionResult
 from .parallel import coarsest_partition
 from .problem import SFCPInstance, canonical_labels, num_blocks
 
 InstanceLike = Union[SFCPInstance, Tuple[np.ndarray, np.ndarray]]
+
+#: Hashable key identifying a class of mutually batchable solve calls.
+CompatKey = Tuple[str, bool, str, Tuple[Tuple[str, object], ...]]
+
+
+def batch_compat_key(
+    algorithm: str = "jaja-ryu",
+    audit: Optional[bool] = None,
+    *,
+    mode: str = "packed",
+    params: Optional[Mapping[str, object]] = None,
+) -> CompatKey:
+    """Key under which solve requests may share one :func:`solve_batch` call.
+
+    Two requests can ride in the same batch iff they agree on the algorithm,
+    the audit flag, the sharding mode and every algorithm keyword argument —
+    the batch runs as *one* machine execution, so any of these differing
+    would silently apply one request's settings to another.  Schedulers
+    (e.g. :mod:`repro.serving`) group queued requests by this key before
+    coalescing them.
+
+    ``audit=None`` normalises to ``True`` (the default-machine setting used
+    when :func:`solve_batch` builds a fresh machine).
+    """
+    frozen = tuple(sorted((params or {}).items()))
+    return (str(algorithm), True if audit is None else bool(audit), str(mode), frozen)
 
 
 @dataclass(frozen=True)
@@ -108,13 +135,21 @@ def solve_batch(
     ----------
     instances:
         ``SFCPInstance`` objects or ``(function, initial_labels)`` pairs.
+        Must be non-empty: an empty batch indicates a scheduler bug (a
+        batcher should never dispatch one) and raises
+        :class:`~repro.errors.BatchError`.  A single-instance batch is
+        legitimate — it degenerates to one ordinary solve.
     algorithm:
         Any name accepted by :func:`~repro.partition.parallel.coarsest_partition`.
     machine:
         Shared machine to charge; a fresh default machine when omitted.
     audit:
         Conflict-auditing override (``False`` = no-audit fast path for the
-        entire batch); ``None`` keeps the machine's setting.
+        entire batch); ``None`` keeps the machine's setting.  A sequence of
+        per-instance flags is accepted for scheduler convenience but they
+        must all agree — the batch executes as one machine run, so mixed
+        flags raise :class:`~repro.errors.BatchError` (group requests by
+        :func:`batch_compat_key` first).
     mode:
         ``"packed"`` or ``"sequential"`` — see the module docstring.
     kwargs:
@@ -122,13 +157,31 @@ def solve_batch(
     """
     if mode not in ("packed", "sequential"):
         raise ValueError(f"unknown batch mode {mode!r}; choose 'packed' or 'sequential'")
-    m = resolve_machine(machine, audit)
+    audit = _uniform_audit(audit)
     parsed = [_as_instance(item) for item in instances]
     if not parsed:
-        return BatchResult([], CostSummary(), [], algorithm, mode)
+        raise BatchError(
+            "solve_batch received an empty batch; a batcher must never "
+            "dispatch zero instances (coalesce first, then solve)"
+        )
+    m = resolve_machine(machine, audit)
     if mode == "packed":
         return _solve_packed(parsed, algorithm, m, kwargs)
     return _solve_sequential(parsed, algorithm, m, kwargs)
+
+
+def _uniform_audit(audit) -> Optional[bool]:
+    """Collapse a per-instance audit sequence to one flag, rejecting mixes."""
+    if audit is None or isinstance(audit, bool):
+        return audit
+    flags = {bool(flag) for flag in audit if flag is not None}
+    if len(flags) > 1:
+        raise BatchError(
+            "batch mixes audit=True and audit=False instances; a batch runs "
+            "as one machine execution and cannot audit only some of them — "
+            "group requests by batch_compat_key() before coalescing"
+        )
+    return flags.pop() if flags else None
 
 
 def _counter_snapshot(m: Machine) -> Tuple[int, int, int]:

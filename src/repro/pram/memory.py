@@ -18,7 +18,7 @@ detected, and charge the machine's :class:`~repro.pram.metrics.CostCounter`.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -58,6 +58,9 @@ class SharedArray:
         return f"SharedArray({self.name!r}, n={len(self.data)}, dtype={self.data.dtype})"
 
 
+_INT64_MAX = 2**63 - 1
+
+
 class SparseTable:
     """Sparse realisation of the paper's ``BB`` concurrent-write table.
 
@@ -67,15 +70,24 @@ class SparseTable:
     pair; reading the cell back gives every processor holding that pair the
     same (arbitrary) representative value.
 
-    The sparse table reproduces those semantics with a dict keyed by the
-    pair.  A dense NumPy backing is optionally available
-    (``dense_limit``) so tests can verify the two behave identically on
-    small instances.
+    The sparse table reproduces those semantics with a NumPy-backed map:
+    pairs are flattened to ``a * span + b`` (``span`` grows to cover the
+    widest ``b`` ever stored) and kept as a sorted array of unique flat
+    keys alongside their values.  Stores append to a pending buffer and are
+    merged lazily — one vectorised stable sort per store→load transition —
+    so both :meth:`store` and :meth:`load` run without per-key Python loops
+    (the dict loops they replace dominated the unaudited solve profile).
+    A dense NumPy backing is optionally available (``dense_shape``) so
+    tests can verify the two behave identically on small instances.
     """
 
     def __init__(self, name: str = "BB", *, dense_shape: Optional[Tuple[int, int]] = None) -> None:
         self.name = name
-        self._cells: Dict[Tuple[int, int], int] = {}
+        self._flat = np.empty(0, dtype=np.int64)  # sorted unique flat keys
+        self._vals = np.empty(0, dtype=np.int64)  # values aligned with _flat
+        self._span = 1  # flat = a * span + b, with every stored b < span
+        self._max_a = -1
+        self._pending: list = []  # [(keys_a, keys_b, values), ...] int64 copies
         self._dense: Optional[np.ndarray] = None
         if dense_shape is not None:
             rows, cols = dense_shape
@@ -89,36 +101,82 @@ class SparseTable:
         """Store winner ``values`` at the given (already de-duplicated) keys."""
         if self._dense is not None:
             self._dense[keys_a, keys_b] = values
-        # The dict is always maintained, even with a dense backing, so that
-        # `load` has a single code path and tests can compare the two.
-        for a, b, v in zip(keys_a.tolist(), keys_b.tolist(), values.tolist()):
-            self._cells[(a, b)] = v
+        if len(keys_a) == 0:
+            return
+        self._pending.append((
+            np.asarray(keys_a, dtype=np.int64).copy(),
+            np.asarray(keys_b, dtype=np.int64).copy(),
+            np.asarray(values, dtype=np.int64).copy(),
+        ))
+
+    def _commit(self) -> None:
+        """Merge pending stores into the sorted map (later stores win)."""
+        if not self._pending:
+            return
+        span = max(self._span, max(int(kb.max()) + 1 for _, kb, _ in self._pending))
+        max_a = max(self._max_a, max(int(ka.max()) for ka, _, _ in self._pending))
+        if max_a >= 0 and max_a * span + (span - 1) > _INT64_MAX:
+            raise ValueError(
+                f"pair encoding overflows int64: max(keys_a)={max_a} with "
+                f"span={span}; re-rank the keys into a denser range first"
+            )
+        if span != self._span and len(self._flat):
+            # widen the flat encoding of already-committed keys
+            self._flat = (self._flat // self._span) * span + (self._flat % self._span)
+        self._span = span
+        self._max_a = max_a
+        flats = [self._flat] + [ka * span + kb for ka, kb, _ in self._pending]
+        vals = [self._vals] + [v for _, _, v in self._pending]
+        self._pending.clear()
+        all_flat = np.concatenate(flats)
+        all_vals = np.concatenate(vals)
+        # Stable sort keeps insertion order within equal keys; the last
+        # occurrence of a key is therefore the latest store — it wins.
+        order = np.argsort(all_flat, kind="stable")
+        sf, sv = all_flat[order], all_vals[order]
+        keep = np.append(sf[1:] != sf[:-1], True)
+        self._flat, self._vals = sf[keep], sv[keep]
 
     def load(self, keys_a: np.ndarray, keys_b: np.ndarray, default: int = -1) -> np.ndarray:
-        """Read the values stored at each key pair (vectorised via dict lookup)."""
-        out = np.empty(len(keys_a), dtype=np.int64)
-        cells = self._cells
-        for i, (a, b) in enumerate(zip(keys_a.tolist(), keys_b.tolist())):
-            out[i] = cells.get((a, b), default)
+        """Read the values stored at each key pair (vectorised binary search)."""
+        self._commit()
+        ka = np.asarray(keys_a, dtype=np.int64)
+        kb = np.asarray(keys_b, dtype=np.int64)
+        out = np.full(len(ka), default, dtype=np.int64)
+        if len(self._flat) == 0 or len(ka) == 0:
+            return out
+        # Keys outside the stored ranges cannot be present (and encoding
+        # them could overflow), so look up only the candidates.
+        candidate = (ka >= 0) & (ka <= self._max_a) & (kb >= 0) & (kb < self._span)
+        flat = ka[candidate] * self._span + kb[candidate]
+        pos = np.minimum(np.searchsorted(self._flat, flat), len(self._flat) - 1)
+        hit = self._flat[pos] == flat
+        out[candidate] = np.where(hit, self._vals[pos], default)
         return out
 
     def clear(self) -> None:
         """Erase all cells (a fresh table for the next doubling round)."""
-        self._cells.clear()
+        self._flat = np.empty(0, dtype=np.int64)
+        self._vals = np.empty(0, dtype=np.int64)
+        self._span = 1
+        self._max_a = -1
+        self._pending.clear()
         if self._dense is not None:
             self._dense.fill(-1)
 
     @property
     def num_cells_touched(self) -> int:
         """Number of distinct cells ever written (space audit for DESIGN §2)."""
-        return len(self._cells)
+        self._commit()
+        return len(self._flat)
 
     def dense_view(self) -> Optional[np.ndarray]:
         """Return the dense backing array if one was requested, else ``None``."""
         return self._dense
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SparseTable({self.name!r}, cells={len(self._cells)})"
+        self._commit()
+        return f"SparseTable({self.name!r}, cells={len(self._flat)})"
 
 
 def ensure_index_array(indices, n: int, name: str = "indices") -> np.ndarray:

@@ -1,0 +1,76 @@
+"""repro.serving — async micro-batching SFCP service with sharded workers.
+
+The ROADMAP's production story needs more than a library call: it needs a
+front end that *accepts traffic*.  This package turns
+:func:`repro.partition.solve_batch` into a service:
+
+* :mod:`~repro.serving.requests` — typed :class:`SolveRequest` /
+  :class:`SolveResponse` envelopes with priorities, deadlines and
+  per-request algorithm/audit options;
+* :mod:`~repro.serving.queue` — a bounded ingress queue with backpressure
+  and shed-on-deadline;
+* :mod:`~repro.serving.batcher` — a micro-batching scheduler coalescing
+  compatible requests (same :func:`repro.partition.batch_compat_key`) into
+  one packed ``solve_batch`` call under ``max_batch_size`` /
+  ``max_batch_delay`` knobs;
+* :mod:`~repro.serving.workers` — a sharded worker pool (threads driving
+  per-worker PRAM machines, or a process pool for true multi-core) with
+  least-loaded or consistent-hash placement;
+* :mod:`~repro.serving.service` — the :class:`SolveService` front end:
+  ``async submit()/result()/solve()`` plus a synchronous facade, graceful
+  drain/shutdown and a rolling metrics snapshot;
+* :mod:`~repro.serving.metrics` — throughput, p50/p95/p99 latency, batch
+  occupancy and shed counts, with the aggregate PRAM ledger riding along.
+
+Quickstart
+----------
+
+>>> import numpy as np
+>>> from repro.serving import SolveService
+>>> f = np.array([1, 2, 0, 0, 3]); b = np.array([0, 1, 0, 0, 1])
+>>> with SolveService(workers=2, max_batch_delay=0.001) as svc:
+...     response = svc.solve(f, b)
+>>> response.status.value, response.num_blocks
+('done', 5)
+
+Or asynchronously, coalescing a burst of requests into shared batches::
+
+    responses = await asyncio.gather(*(svc.async_solve(f, b) for f, b in work))
+
+``python -m repro.serving --workers 4 --batch-size 32`` runs a
+self-contained load-generator demo and prints the metrics table.
+"""
+
+from .batcher import Batch, BatcherStats, MicroBatcher
+from .metrics import LatencyWindow, MetricsRecorder, ServiceMetrics
+from .queue import IngressQueue
+from .requests import JobStatus, SolveRequest, SolveResponse
+from .service import SolveService
+from .workers import (
+    BatchOutcome,
+    ProcessWorkerPool,
+    ThreadedWorkerPool,
+    WorkerPool,
+    WorkerStats,
+    create_worker_pool,
+)
+
+__all__ = [
+    "SolveService",
+    "SolveRequest",
+    "SolveResponse",
+    "JobStatus",
+    "IngressQueue",
+    "MicroBatcher",
+    "Batch",
+    "BatcherStats",
+    "WorkerPool",
+    "ThreadedWorkerPool",
+    "ProcessWorkerPool",
+    "BatchOutcome",
+    "WorkerStats",
+    "create_worker_pool",
+    "ServiceMetrics",
+    "MetricsRecorder",
+    "LatencyWindow",
+]

@@ -1,0 +1,169 @@
+"""Command-line demo and smoke test: ``python -m repro.serving``.
+
+Runs a self-contained load-generator burst against a fresh
+:class:`~repro.serving.service.SolveService`, verifies every response
+against a direct single-instance solve, and prints the metrics table.
+
+Examples
+--------
+
+The acceptance configuration (4 workers, 256 requests, batches of 32)::
+
+    python -m repro.serving --workers 4 --batch-size 32 --requests 256
+
+CI smoke run, failing unless at least one multi-request batch formed, with
+the metrics snapshot persisted for artifact upload::
+
+    python -m repro.serving --workers 2 --requests 64 --seed 0 \
+        --require-batching --metrics-out serving-metrics.json
+
+Exit codes: 0 success; 1 incomplete or mismatched responses; 2 no
+multi-request batch despite ``--require-batching``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional, Sequence
+
+from ..analysis.tables import render_table
+from .bench import run_load
+from .workers import BACKENDS, PLACEMENTS
+
+#: Schema stamp of the ``--metrics-out`` JSON document.
+METRICS_SCHEMA = "repro.serving"
+METRICS_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Load-generator demo/smoke for the micro-batching SFCP service.",
+    )
+    parser.add_argument("--workers", type=int, default=4, help="worker shards (default 4)")
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="thread",
+        help="worker backend: persistent threaded shards or a process pool",
+    )
+    parser.add_argument(
+        "--placement", choices=PLACEMENTS, default="least_loaded",
+        help="shard placement policy (thread backend)",
+    )
+    parser.add_argument("--batch-size", type=int, default=32, help="max requests per batch")
+    parser.add_argument(
+        "--batch-delay-ms", type=float, default=2.0,
+        help="max time a partially-filled batch is held open (default 2ms)",
+    )
+    parser.add_argument("--queue-capacity", type=int, default=1024, help="ingress bound")
+    parser.add_argument(
+        "--mode", choices=("packed", "sequential"), default="packed",
+        help="solve_batch sharding mode",
+    )
+    parser.add_argument("--requests", type=int, default=256, help="burst size (default 256)")
+    parser.add_argument("--size", type=int, default=256, help="nodes per instance (default 256)")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument("--algorithm", default="jaja-ryu", help="partition algorithm")
+    parser.add_argument(
+        "--no-audit-mix", action="store_true",
+        help="send only audited traffic (default mixes audited/unaudited)",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip comparing responses against direct single-instance solves",
+    )
+    parser.add_argument(
+        "--require-batching", action="store_true",
+        help="exit 2 unless at least one multi-request batch formed (CI smoke)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the final metrics snapshot as JSON to PATH",
+    )
+    parser.add_argument("--quiet", "-q", action="store_true", help="suppress tables")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    say = (lambda *_: None) if args.quiet else print
+
+    say(
+        f"[repro.serving] burst of {args.requests} requests (n={args.size}) -> "
+        f"{args.workers} {args.backend} worker(s), batch<= {args.batch_size}, "
+        f"delay {args.batch_delay_ms}ms"
+    )
+    report = run_load(
+        workers=args.workers,
+        backend=args.backend,
+        placement=args.placement,
+        max_batch_size=args.batch_size,
+        max_batch_delay=args.batch_delay_ms / 1e3,
+        queue_capacity=args.queue_capacity,
+        mode=args.mode,
+        requests=args.requests,
+        size=args.size,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        audit_mix=not args.no_audit_mix,
+        verify=not args.no_verify,
+    )
+    m = report.metrics
+
+    say("")
+    say(render_table(m.as_rows(), title="repro.serving metrics snapshot"))
+    if m.workers:
+        say("")
+        say(render_table(m.workers, title="per-worker shards"))
+    say("")
+    say(
+        f"[repro.serving] completed {report.completed}/{len(report.responses)} "
+        f"in {report.wall_seconds:.3f}s ({m.throughput_rps:.1f} req/s); "
+        f"{m.batches} batches, {m.multi_request_batches} multi-request "
+        f"(largest {m.max_occupancy}, mean occupancy {m.mean_occupancy:.2f})"
+    )
+    if report.verified is not None:
+        say(
+            "[repro.serving] verification vs direct coarsest_partition "
+            f"(audited and unaudited): {'OK' if report.verified else 'MISMATCH'}"
+        )
+
+    if args.metrics_out:
+        document = {
+            "schema": METRICS_SCHEMA,
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "config": report.config,
+            "metrics": m.as_dict(),
+            "wall_seconds": round(report.wall_seconds, 4),
+            "completed": report.completed,
+            "verified": report.verified,
+        }
+        out_dir = os.path.dirname(args.metrics_out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        say(f"[repro.serving] wrote {args.metrics_out}")
+
+    if not report.all_done or report.verified is False:
+        print(
+            f"[repro.serving] FAILURE: {len(report.responses) - report.completed} "
+            f"incomplete, {len(report.mismatches)} mismatched responses",
+            file=sys.stderr,
+        )
+        return 1
+    if args.require_batching and not report.coalesced:
+        print(
+            "[repro.serving] FAILURE: no multi-request batch formed "
+            "(--require-batching)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""Load generation and benchmarking for the serving front end.
+
+:func:`run_load` drives a :class:`~repro.serving.service.SolveService`
+with a synthetic but deterministic request stream (rotating workload
+families, mixed audited/unaudited traffic) through the *asyncio* front
+end, optionally verifying every response against a direct single-instance
+:func:`repro.partition.coarsest_partition` call.  It is the engine behind
+both ``python -m repro.serving`` (the demo/smoke CLI) and the ``serving``
+benchmark experiment, whose ``BENCH_SERVING.json`` artifact tracks service
+throughput and latency across PRs alongside the ``BENCH_E*.json`` family.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.generators import random_function, random_permutation, tree_heavy
+from ..partition import coarsest_partition, same_partition
+from .metrics import ServiceMetrics
+from .requests import JobStatus, SolveResponse
+from .service import SolveService
+
+#: Workload families the load generator rotates through.
+_FAMILIES = (
+    ("mixed", lambda n, seed: random_function(n, num_labels=3, seed=seed)),
+    ("permutation", lambda n, seed: random_permutation(n, num_labels=2, seed=seed)),
+    ("tree_heavy", lambda n, seed: tree_heavy(n, num_labels=2, cycle_fraction=0.05, seed=seed)),
+)
+
+
+def generate_requests(
+    count: int,
+    size: int,
+    *,
+    seed: int = 0,
+    audit_mix: bool = True,
+) -> List[Tuple[np.ndarray, np.ndarray, bool]]:
+    """Deterministic request stream: ``(function, labels, audit)`` triples.
+
+    Workload families rotate per request; with ``audit_mix`` every other
+    request runs unaudited, so the stream exercises both compat-key groups
+    (audited and fast-path) and the batcher must keep them apart.
+    """
+    stream = []
+    for i in range(count):
+        _, build = _FAMILIES[i % len(_FAMILIES)]
+        f, b = build(size, seed + i)
+        audit = (i % 2 == 0) if audit_mix else True
+        stream.append((f, b, audit))
+    return stream
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generator run."""
+
+    responses: List[SolveResponse]
+    metrics: ServiceMetrics
+    wall_seconds: float
+    config: Dict[str, object]
+    mismatches: List[int] = field(default_factory=list)  # request ids
+    verified: Optional[bool] = None  # None = verification not requested
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.responses if r.status is JobStatus.DONE)
+
+    @property
+    def all_done(self) -> bool:
+        return self.completed == len(self.responses)
+
+    @property
+    def coalesced(self) -> bool:
+        """Did at least one batch carry more than one request?"""
+        return self.metrics.multi_request_batches > 0
+
+
+def run_load(
+    *,
+    workers: int = 4,
+    backend: str = "thread",
+    placement: str = "least_loaded",
+    max_batch_size: int = 32,
+    max_batch_delay: float = 0.002,
+    queue_capacity: int = 1024,
+    mode: str = "packed",
+    requests: int = 64,
+    size: int = 256,
+    seed: int = 0,
+    algorithm: str = "jaja-ryu",
+    audit_mix: bool = True,
+    verify: bool = False,
+) -> LoadReport:
+    """Drive a fresh service with a synthetic burst and report the outcome.
+
+    All ``requests`` solve requests are fired concurrently through the
+    asyncio front end (the realistic arrival pattern for micro-batching:
+    a burst, not a trickle), the service is drained, and the final metrics
+    snapshot is captured.  With ``verify`` every DONE response's labels are
+    checked against a direct ``coarsest_partition`` call with the same
+    algorithm and audit flag.
+    """
+    stream = generate_requests(requests, size, seed=seed, audit_mix=audit_mix)
+    config: Dict[str, object] = {
+        "workers": workers,
+        "backend": backend,
+        "placement": placement,
+        "max_batch_size": max_batch_size,
+        "max_batch_delay": max_batch_delay,
+        "queue_capacity": queue_capacity,
+        "mode": mode,
+        "requests": requests,
+        "size": size,
+        "seed": seed,
+        "algorithm": algorithm,
+        "audit_mix": audit_mix,
+    }
+
+    service = SolveService(
+        workers=workers,
+        backend=backend,
+        placement=placement,
+        max_batch_size=max_batch_size,
+        max_batch_delay=max_batch_delay,
+        queue_capacity=queue_capacity,
+        mode=mode,
+        default_algorithm=algorithm,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    try:
+        responses = asyncio.run(_fire(service, stream, algorithm))
+        service.drain()
+        wall = time.perf_counter() - start
+        metrics = service.metrics()
+    finally:
+        service.shutdown()
+
+    report = LoadReport(
+        responses=responses,
+        metrics=metrics,
+        wall_seconds=wall,
+        config=config,
+    )
+    if verify:
+        report.verified = True
+        for (f, b, audit), response in zip(stream, responses):
+            if response.status is not JobStatus.DONE:
+                report.verified = False
+                report.mismatches.append(response.request_id)
+                continue
+            direct = coarsest_partition(f, b, algorithm=algorithm, audit=audit)
+            if not same_partition(response.labels, direct.labels):
+                report.verified = False
+                report.mismatches.append(response.request_id)
+    return report
+
+
+async def _fire(
+    service: SolveService,
+    stream: Sequence[Tuple[np.ndarray, np.ndarray, bool]],
+    algorithm: str,
+) -> List[SolveResponse]:
+    return list(
+        await asyncio.gather(
+            *(
+                service.async_solve(f, b, algorithm=algorithm, audit=audit)
+                for f, b, audit in stream
+            )
+        )
+    )
+
+
+def run_serving_benchmark(
+    sizes: Sequence[int] = (128, 256),
+    *,
+    seed: int = 0,
+    workers: int = 4,
+    requests: int = 64,
+    max_batch_size: int = 32,
+    max_batch_delay: float = 0.002,
+    backend: str = "thread",
+    mode: str = "packed",
+) -> List[Dict[str, object]]:
+    """Benchmark-registry runner: one row per instance size.
+
+    Rows carry both host-level service numbers (throughput, latency
+    percentiles, occupancy) and the aggregate charged PRAM cost, so the
+    ``BENCH_SERVING.json`` totals are regression-trackable like every
+    other experiment's.
+    """
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        report = run_load(
+            workers=workers,
+            backend=backend,
+            max_batch_size=max_batch_size,
+            max_batch_delay=max_batch_delay,
+            mode=mode,
+            requests=requests,
+            size=int(n),
+            seed=seed,
+        )
+        m = report.metrics
+        rows.append(
+            {
+                "n": int(n),
+                "workers": workers,
+                "requests": requests,
+                "completed": report.completed,
+                "shed": m.shed,
+                "batches": m.batches,
+                "multi_batches": m.multi_request_batches,
+                "mean_occupancy": round(m.mean_occupancy, 2),
+                "max_occupancy": m.max_occupancy,
+                "throughput_rps": round(m.throughput_rps, 1),
+                "p50_ms": round(m.latency_p50_ms, 2),
+                "p95_ms": round(m.latency_p95_ms, 2),
+                "p99_ms": round(m.latency_p99_ms, 2),
+                "wall_seconds": round(report.wall_seconds, 4),
+                "time": m.pram.time,
+                "work": m.pram.work,
+                "charged_work": m.pram.charged_work,
+            }
+        )
+    return rows

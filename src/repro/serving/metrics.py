@@ -1,0 +1,184 @@
+"""Rolling service metrics: throughput, latency percentiles, occupancy.
+
+The service keeps a thread-safe :class:`MetricsRecorder`; :meth:`snapshot`
+freezes it into an immutable :class:`ServiceMetrics` mirroring the
+conventions of :mod:`repro.pram.metrics` — counters accumulate while the
+service runs, a summary call produces a flat serialisable view, and the
+PRAM cost ledger (time / work / charged work aggregated across worker
+machines) rides along so service-level throughput can be correlated with
+the simulator's charged cost, exactly like a ``CostSummary``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..types import CostSummary
+
+
+class LatencyWindow:
+    """Rolling window of the most recent request latencies (seconds)."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._window: "deque[float]" = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+
+    def add(self, latency_seconds: float) -> None:
+        with self._lock:
+            self._window.append(latency_seconds)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._window)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]) over the window."""
+        with self._lock:
+            data = sorted(self._window)
+        if not data:
+            return 0.0
+        rank = min(len(data) - 1, max(0, int(round(p / 100.0 * (len(data) - 1)))))
+        return data[rank]
+
+    def mean(self) -> float:
+        with self._lock:
+            data = list(self._window)
+        return sum(data) / len(data) if data else 0.0
+
+
+@dataclass
+class ServiceMetrics:
+    """Immutable snapshot of the service's rolling metrics."""
+
+    uptime_seconds: float
+    submitted: int
+    completed: int
+    failed: int
+    shed: int
+    rejected: int
+    queue_depth: int
+    inflight: int
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    batches: int
+    multi_request_batches: int
+    mean_occupancy: float
+    max_occupancy: int
+    pram: CostSummary = field(default_factory=CostSummary)
+    workers: List[Dict[str, object]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view (metrics artifacts, CI upload)."""
+        return {
+            "uptime_seconds": round(self.uptime_seconds, 4),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency_ms": {
+                "p50": round(self.latency_p50_ms, 3),
+                "p95": round(self.latency_p95_ms, 3),
+                "p99": round(self.latency_p99_ms, 3),
+                "mean": round(self.latency_mean_ms, 3),
+            },
+            "batches": self.batches,
+            "multi_request_batches": self.multi_request_batches,
+            "mean_occupancy": round(self.mean_occupancy, 3),
+            "max_occupancy": self.max_occupancy,
+            "pram": {
+                "time": self.pram.time,
+                "work": self.pram.work,
+                "charged_work": self.pram.charged_work,
+            },
+            "workers": self.workers,
+        }
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Key/value rows for ``repro.analysis.tables.render_table``."""
+        flat = self.as_dict()
+        latency = flat.pop("latency_ms")
+        pram = flat.pop("pram")
+        flat.pop("workers")
+        flat.update({f"latency_{k}_ms": v for k, v in latency.items()})
+        flat.update({f"pram_{k}": v for k, v in pram.items()})
+        return [{"metric": k, "value": v} for k, v in flat.items()]
+
+
+class MetricsRecorder:
+    """Thread-safe accumulator behind :meth:`SolveService.metrics`."""
+
+    def __init__(self, *, window: int = 4096) -> None:
+        self.started_at = time.monotonic()
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.latency = LatencyWindow(maxlen=window)
+
+    def record_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_completion(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.completed += 1
+        self.latency.add(latency_seconds)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def snapshot(
+        self,
+        *,
+        queue_depth: int,
+        inflight: int,
+        rejected: int,
+        batches: int,
+        multi_request_batches: int,
+        mean_occupancy: float,
+        max_occupancy: int,
+        pram: Optional[CostSummary] = None,
+        workers: Optional[List[Dict[str, object]]] = None,
+    ) -> ServiceMetrics:
+        uptime = time.monotonic() - self.started_at
+        with self._lock:
+            submitted, completed = self.submitted, self.completed
+            failed, shed = self.failed, self.shed
+        return ServiceMetrics(
+            uptime_seconds=uptime,
+            submitted=submitted,
+            completed=completed,
+            failed=failed,
+            shed=shed,
+            rejected=rejected,
+            queue_depth=queue_depth,
+            inflight=inflight,
+            throughput_rps=completed / uptime if uptime > 0 else 0.0,
+            latency_p50_ms=self.latency.percentile(50) * 1e3,
+            latency_p95_ms=self.latency.percentile(95) * 1e3,
+            latency_p99_ms=self.latency.percentile(99) * 1e3,
+            latency_mean_ms=self.latency.mean() * 1e3,
+            batches=batches,
+            multi_request_batches=multi_request_batches,
+            mean_occupancy=mean_occupancy,
+            max_occupancy=max_occupancy,
+            pram=pram if pram is not None else CostSummary(),
+            workers=workers or [],
+        )

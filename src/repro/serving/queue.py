@@ -1,0 +1,218 @@
+"""Bounded ingress queue with backpressure and shed-on-deadline.
+
+The queue is the admission-control layer of the service: it holds accepted
+:class:`~repro.serving.requests.SolveRequest` objects until the batcher
+claims them.  Three policies live here:
+
+* **Backpressure** — the queue is bounded.  A blocking ``put`` waits for
+  space (up to a timeout); a non-blocking one raises
+  :class:`~repro.errors.QueueFullError` immediately.  Either way a full
+  queue pushes load back on the submitter instead of growing without
+  bound.
+* **Shed-on-deadline** — requests whose deadline elapses while queued are
+  *shed*: removed and reported through the ``on_shed`` callback (the
+  service turns them into ``JobStatus.SHED`` responses).  Expired entries
+  are purged whenever the queue is scanned, and a full ``put`` first sheds
+  expired entries to make room before giving up.
+* **Priority** — the batcher always coalesces around the oldest
+  highest-priority entry (priority descending, FIFO within a priority).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+from ..errors import QueueFullError, ServiceShutdownError
+from ..partition.batch import CompatKey
+from .requests import SolveRequest
+
+
+class IngressQueue:
+    """Bounded, priority-ordered holding area for queued solve requests."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        on_shed: Optional[Callable[[SolveRequest], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries: List[SolveRequest] = []  # insertion order; scans pick by priority
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._on_shed = on_shed
+        self._closed = False
+        self.shed_count = 0
+        self.rejected_count = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        request: SolveRequest,
+        *,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Admit a request, applying backpressure when the queue is full.
+
+        Raises :class:`~repro.errors.QueueFullError` if no space frees up
+        (immediately when ``block=False``, after ``timeout`` seconds
+        otherwise; ``timeout=None`` waits indefinitely).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                if self._closed:
+                    # A put that was blocked on backpressure when the queue
+                    # closed must NOT slip its entry in after the final
+                    # flush — that request would never be batched.
+                    raise ServiceShutdownError("ingress queue is closed; submit rejected")
+                self._shed_expired_locked()
+                if len(self._entries) < self.capacity:
+                    self._entries.append(request)
+                    self._not_empty.notify_all()
+                    return
+                if not block:
+                    self.rejected_count += 1
+                    raise QueueFullError(
+                        f"ingress queue full ({self.capacity} requests queued); "
+                        "slow down, retry later, or raise queue_capacity"
+                    )
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self.rejected_count += 1
+                    raise QueueFullError(
+                        f"ingress queue still full after {timeout}s of backpressure"
+                    )
+                self._not_full.wait(timeout=remaining)
+
+    # ------------------------------------------------------------------
+    # claiming (batcher side)
+    # ------------------------------------------------------------------
+    def head_key(self, timeout: Optional[float] = None) -> Optional[CompatKey]:
+        """Compat key of the oldest highest-priority live entry.
+
+        Blocks up to ``timeout`` seconds for an entry to arrive; returns
+        ``None`` on timeout.  Expired entries are shed during the wait.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                self._shed_expired_locked()
+                head = self._head_locked()
+                if head is not None:
+                    return head.compat_key
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(timeout=remaining)
+
+    def take(self, key: CompatKey, max_items: int) -> List[SolveRequest]:
+        """Remove up to ``max_items`` live entries with the given compat key.
+
+        Entries come out in priority order (descending, FIFO within equal
+        priority); entries with other keys are left untouched.
+        """
+        if max_items < 1:
+            return []
+        with self._lock:
+            self._shed_expired_locked()
+            matching = [r for r in self._entries if r.compat_key == key]
+            matching.sort(key=lambda r: -r.priority)  # stable: FIFO within priority
+            taken = matching[:max_items]
+            if taken:
+                taken_ids = {id(r) for r in taken}
+                self._entries = [r for r in self._entries if id(r) not in taken_ids]
+                self._not_full.notify_all()
+            return taken
+
+    def wait_for(
+        self,
+        key: CompatKey,
+        deadline: float,
+        *,
+        abort: Optional[threading.Event] = None,
+    ) -> bool:
+        """Block until an entry with ``key`` is queued or ``deadline`` passes.
+
+        Used by the batcher to hold a partially-filled batch open for its
+        ``max_batch_delay`` window without busy-polling.  Returns ``False``
+        immediately when the queue closes or ``abort`` is set, so shutdown
+        never waits out a long delay window.
+        """
+        with self._lock:
+            while True:
+                if self._closed or (abort is not None and abort.is_set()):
+                    return False
+                self._shed_expired_locked()
+                if any(r.compat_key == key for r in self._entries):
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._not_empty.wait(timeout=remaining)
+
+    def drain(self) -> List[SolveRequest]:
+        """Remove and return every queued entry (used by shutdown)."""
+        with self._lock:
+            entries, self._entries = self._entries, []
+            self._not_full.notify_all()
+            return entries
+
+    def wake_all(self) -> None:
+        """Wake every waiter (shutdown: blocked puts and batcher waits)."""
+        with self._lock:
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def close(self) -> None:
+        """Stop admission: blocked and future ``put`` calls raise.
+
+        ``take``/``head_key``/``drain`` keep working so a draining
+        shutdown can still flush already-admitted entries.
+        """
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def report_shed(self, request: SolveRequest) -> None:
+        """Record a request shed outside the queue (e.g. a batch member
+        whose deadline elapsed between claiming and dispatch)."""
+        with self._lock:
+            self.shed_count += 1
+        if self._on_shed is not None:
+            self._on_shed(request)
+
+    # ------------------------------------------------------------------
+    # internals (lock held)
+    # ------------------------------------------------------------------
+    def _head_locked(self) -> Optional[SolveRequest]:
+        if not self._entries:
+            return None
+        return max(self._entries, key=lambda r: (r.priority, -r.submitted_at))
+
+    def _shed_expired_locked(self) -> None:
+        now = time.monotonic()
+        live = [r for r in self._entries if not r.expired(now)]
+        if len(live) == len(self._entries):
+            return
+        expired = [r for r in self._entries if r.expired(now)]
+        self._entries = live
+        self.shed_count += len(expired)
+        self._not_full.notify_all()
+        if self._on_shed is not None:
+            for request in expired:
+                self._on_shed(request)

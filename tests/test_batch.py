@@ -95,9 +95,51 @@ def test_solve_batch_shares_one_machine():
 
 
 def test_solve_batch_empty_and_bad_mode():
-    assert len(solve_batch([])) == 0
+    from repro.errors import BatchError
+
+    # an empty batch is a scheduler bug and must fail loudly, not deep in
+    # the packing code
+    with pytest.raises(BatchError, match="empty batch"):
+        solve_batch([])
     with pytest.raises(ValueError, match="batch mode"):
         solve_batch(_mixed_batch(), mode="parallel")
+
+
+@pytest.mark.parametrize("mode", ["packed", "sequential"])
+def test_solve_batch_single_instance_degenerates_cleanly(mode):
+    f, b = random_function(40, num_labels=3, seed=2)
+    batch = solve_batch([(f, b)], mode=mode)
+    assert len(batch) == 1
+    assert same_partition(batch.results[0].labels, linear_partition(f, b).labels)
+    assert batch.per_instance[0].work == batch.cost.work
+
+
+def test_solve_batch_mixed_audit_flags_raise():
+    from repro.errors import BatchError, ReproError
+
+    instances = _mixed_batch(seed=6, sizes=(20, 25))
+    with pytest.raises(ReproError, match="mixes audit"):
+        solve_batch(instances, audit=[True, False])
+    # uniform per-instance flags collapse to the scalar behaviour
+    batch = solve_batch(instances, audit=[False, False])
+    for (f, b), result in zip(instances, batch.results):
+        assert same_partition(result.labels, linear_partition(f, b).labels)
+    assert isinstance(BatchError("x"), ValueError)
+
+
+def test_batch_compat_key_groups_requests():
+    from repro.partition import batch_compat_key
+
+    base = batch_compat_key("jaja-ryu", True)
+    assert base == batch_compat_key("jaja-ryu", None)  # None normalises to audited
+    assert base != batch_compat_key("jaja-ryu", False)
+    assert base != batch_compat_key("hopcroft", True)
+    assert base != batch_compat_key("jaja-ryu", True, mode="sequential")
+    assert batch_compat_key("jaja-ryu", True, params={"msp_algorithm": "simple"}) != base
+    # keys are hashable and order-insensitive in their params
+    assert batch_compat_key("jaja-ryu", True, params={"a": 1, "b": 2}) == batch_compat_key(
+        "jaja-ryu", True, params={"b": 2, "a": 1}
+    )
 
 
 def test_solve_batch_accepts_instances_and_forwards_kwargs():

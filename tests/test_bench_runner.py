@@ -53,7 +53,8 @@ def test_registry_maps_config_onto_runner_kwargs():
 def test_registry_rejects_unknown_experiment():
     with pytest.raises(KeyError, match="unknown experiment"):
         get_experiment("e99")
-    assert experiment_ids() == [f"e{i}" for i in range(1, 11)]
+    # e1..e10 in numeric order, then named experiments alphabetically
+    assert experiment_ids() == [f"e{i}" for i in range(1, 11)] + ["serving"]
 
 
 # ----------------------------------------------------------------------

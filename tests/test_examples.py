@@ -48,3 +48,11 @@ def test_batch_throughput_example_runs():
     assert proc.returncode == 0, proc.stderr
     assert "solve_batch" in proc.stdout
     assert "audit=False" in proc.stdout
+
+
+def test_serving_demo_example_runs():
+    proc = _run_example(EXAMPLES / "serving_demo.py", "--requests", "8", "--size", "48")
+    assert proc.returncode == 0, proc.stderr
+    assert "sync solve" in proc.stdout
+    assert "async burst" in proc.stdout
+    assert "service metrics snapshot" in proc.stdout

@@ -1,0 +1,123 @@
+"""Parity tests for the vectorised SparseTable against dict semantics.
+
+The table replaced its per-key dict loops with a sorted flat-key array map
+(the dict loops dominated the unaudited solve profile); these tests pin
+the dict behaviour it must preserve: overwrite-on-store, last-duplicate
+wins within one store, defaults for absent keys, clear(), span growth when
+later stores use wider key ranges, and agreement with the dense backing.
+"""
+import numpy as np
+import pytest
+
+from repro.pram.memory import SparseTable
+
+
+def _arrays(*lists):
+    return [np.asarray(x, dtype=np.int64) for x in lists]
+
+
+def test_store_load_roundtrip_with_defaults():
+    t = SparseTable()
+    ka, kb, v = _arrays([1, 2, 3], [4, 5, 6], [10, 20, 30])
+    t.store(ka, kb, v)
+    got = t.load(*_arrays([1, 2, 3, 9], [4, 5, 6, 9]), default=-7)
+    assert got.tolist() == [10, 20, 30, -7]
+    assert t.num_cells_touched == 3
+
+
+def test_later_stores_overwrite_earlier_ones():
+    t = SparseTable()
+    t.store(*_arrays([1, 2], [1, 1], [100, 200]))
+    t.store(*_arrays([1], [1], [999]))
+    assert t.load(*_arrays([1, 2], [1, 1])).tolist() == [999, 200]
+    assert t.num_cells_touched == 2
+
+
+def test_duplicate_keys_within_one_store_last_wins():
+    # the machine de-duplicates before calling store, but the dict loop
+    # used to apply writes in order (last assignment wins) — preserved
+    t = SparseTable()
+    t.store(*_arrays([5, 5], [3, 3], [1, 2]))
+    assert t.load(*_arrays([5], [3]))[0] == 2
+    assert t.num_cells_touched == 1
+
+
+def test_span_growth_re_encodes_committed_keys():
+    t = SparseTable()
+    t.store(*_arrays([1, 2], [0, 1], [10, 20]))  # span 2
+    assert t.load(*_arrays([1], [0]))[0] == 10  # commit at span 2
+    t.store(*_arrays([1], [1000], [30]))  # span must widen to 1001
+    got = t.load(*_arrays([1, 2, 1], [0, 1, 1000]))
+    assert got.tolist() == [10, 20, 30]
+    assert t.num_cells_touched == 3
+
+
+def test_out_of_range_and_negative_queries_return_default():
+    t = SparseTable()
+    t.store(*_arrays([3], [7], [42]))
+    got = t.load(*_arrays([-1, 3, 10**9, 3], [7, -2, 7, 10**9]), default=-1)
+    assert got.tolist() == [-1, -1, -1, -1]
+    assert t.load(*_arrays([3], [7]))[0] == 42
+
+
+def test_clear_resets_everything():
+    t = SparseTable()
+    t.store(*_arrays([1, 2], [1, 2], [5, 6]))
+    assert t.num_cells_touched == 2
+    t.clear()
+    assert t.num_cells_touched == 0
+    assert t.load(*_arrays([1], [1]), default=-3)[0] == -3
+    t.store(*_arrays([1], [1], [8]))
+    assert t.load(*_arrays([1], [1]))[0] == 8
+
+
+def test_empty_store_and_empty_load():
+    t = SparseTable()
+    t.store(*_arrays([], [], []))
+    assert t.num_cells_touched == 0
+    assert t.load(*_arrays([], [])).tolist() == []
+    t.store(*_arrays([2], [2], [9]))
+    assert t.load(*_arrays([], [])).tolist() == []
+
+
+def test_pair_encoding_overflow_raises():
+    t = SparseTable()
+    t.store(*_arrays([2**33], [2**31], [1]))
+    with pytest.raises(ValueError, match="overflows int64"):
+        t.load(*_arrays([2**33], [2**31]))
+
+
+def test_dense_backing_stays_in_sync():
+    t = SparseTable(dense_shape=(8, 8))
+    t.store(*_arrays([1, 2], [3, 4], [7, 8]))
+    t.store(*_arrays([1], [3], [70]))
+    dense = t.dense_view()
+    assert dense[1, 3] == 70 and dense[2, 4] == 8
+    assert t.load(*_arrays([1, 2], [3, 4])).tolist() == [70, 8]
+    t.clear()
+    assert (dense == -1).all()
+
+
+def test_fuzz_parity_with_dict_reference():
+    rng = np.random.default_rng(0)
+    t = SparseTable()
+    reference = {}
+    for round_index in range(30):
+        size = int(rng.integers(1, 40))
+        span_limit = 10 if round_index < 15 else 1000  # force span growth
+        ka = rng.integers(0, 50, size)
+        kb = rng.integers(0, span_limit, size)
+        v = rng.integers(0, 10**6, size)
+        t.store(*_arrays(ka, kb, v))
+        for a, b, val in zip(ka.tolist(), kb.tolist(), v.tolist()):
+            reference[(a, b)] = val
+        queries = int(rng.integers(1, 60))
+        qa = rng.integers(0, 60, queries)
+        qb = rng.integers(0, span_limit + 5, queries)
+        got = t.load(*_arrays(qa, qb), default=-1)
+        expected = [reference.get((a, b), -1) for a, b in zip(qa.tolist(), qb.tolist())]
+        assert got.tolist() == expected
+        if round_index == 20:
+            t.clear()
+            reference.clear()
+    assert t.num_cells_touched == len(reference)
