@@ -1,0 +1,44 @@
+"""Scaling — end-to-end wall-clock vs charged cost through n = 2^20.
+
+The engine-overhaul PR (closed-form charging, fused BB-table steps,
+frontier-based jumping) is only evidence if the *host* runtime scales like
+the cost the simulator charges.  This sweep runs the full partition
+pipeline up to ``n = 2^20`` and records measured ``wall_seconds`` and
+``ns_per_node`` next to the exact PRAM totals in ``BENCH_SCALING.json``.
+Host-timing columns vary per machine; the charged totals are exact and
+must not move across perf PRs (CI's perf-smoke job enforces this for E1).
+"""
+import pytest
+
+from repro.bench import SweepConfig
+from repro.partition import jaja_ryu_partition
+from repro.graphs.generators import random_function
+
+SWEEP = (16384, 65536, 262144, 1048576)
+
+
+def test_generate_table_scaling(report, bench):
+    result = bench.run_experiment(
+        [SweepConfig("scaling", sizes=SWEEP, workload="mixed", seed=0)]
+    )
+    rows = result.rows
+    report.extend(result.tables)
+    ours = [r for r in rows if r["algorithm"] == "jaja-ryu"]
+    # acceptance: jaja-ryu covers the whole sweep, including n = 2^20
+    assert [r["n"] for r in ours] == list(SWEEP)
+    # acceptance: charged work stays O(n log log n) — the normalised ratio
+    # must not grow across a 64x size increase (loose factor for rounding)
+    first, last = ours[0], ours[-1]
+    assert last["charged/(n lg lg n)"] <= first["charged/(n lg lg n)"] * 1.25
+    for row in ours:
+        assert row["wall_seconds"] > 0 and row["charged_work"] > 0
+
+
+@pytest.mark.benchmark(group="scaling-partition")
+@pytest.mark.parametrize("n", [65536])
+def test_bench_jaja_ryu_large(benchmark, n):
+    f, b = random_function(n, num_labels=3, seed=0)
+    result = benchmark.pedantic(
+        lambda: jaja_ryu_partition(f, b, audit=False), rounds=1, iterations=1
+    )
+    assert result.num_blocks > 0

@@ -290,6 +290,71 @@ def run_e5_equivalence(
 
 
 # ----------------------------------------------------------------------
+# Scaling — wall-clock and charged cost as n grows (up to 2^20)
+# ----------------------------------------------------------------------
+def run_scaling(
+    sizes: Sequence[int] = (16384, 65536, 262144),
+    *,
+    workload: str = "mixed",
+    seed: int = 0,
+    audit: Optional[bool] = None,
+    algorithms: Sequence[str] = ("jaja-ryu", "galley-iliopoulos", "paige-tarjan-bonic"),
+    baseline_max_n: int = 1048576,
+    verify_max_n: int = 65536,
+) -> List[Row]:
+    """Scaling sweep: host wall-clock next to the charged PRAM cost.
+
+    Unlike E1 (which records only the counted cost), every row carries the
+    measured ``wall_seconds`` and the derived ``ns_per_node`` of the solve
+    call, so the artifact doubles as the perf-trajectory evidence that the
+    simulator's *host* time scales like the cost it charges.  ``jaja-ryu``
+    runs at every size; the other algorithms stop at ``baseline_max_n``.
+    Labels are verified against the sequential oracle up to
+    ``verify_max_n`` (verification is itself O(n) host work and would
+    otherwise dominate the largest cells).
+    """
+    import time as _time
+
+    wl = get_workload(workload)
+    rows: List[Row] = []
+    # Warm-up: one tiny untimed solve per algorithm so the first timed row
+    # does not absorb lazy imports and code-path warming.
+    warm_f, warm_b = wl.instance(256, seed)
+    for name in algorithms:
+        PARTITION_ALGORITHMS[name](warm_f, warm_b, audit=audit)
+    for n in sizes:
+        f, b = wl.instance(n, seed)
+        reference = None
+        for name in algorithms:
+            if name != "jaja-ryu" and n > baseline_max_n:
+                continue
+            algo = PARTITION_ALGORITHMS[name]
+            start = _time.perf_counter()
+            result = algo(f, b, audit=audit)
+            wall = _time.perf_counter() - start
+            if n <= verify_max_n:
+                if reference is None:
+                    reference = linear_partition(f, b).labels
+                # a hard raise (not assert): the scaling artifact is committed
+                # perf evidence and must never be produced from wrong labels,
+                # even under python -O
+                if not same_partition(result.labels, reference):
+                    from ..errors import ExperimentError
+
+                    raise ExperimentError(
+                        f"scaling: {name} labels disagree with the sequential "
+                        f"oracle at n={n} (workload={workload!r}, seed={seed})"
+                    )
+            row = _cost_row(name, n, result.cost)
+            row["workload"] = workload
+            row["blocks"] = result.num_blocks
+            row["wall_seconds"] = round(wall, 6)
+            row["ns_per_node"] = round(wall / n * 1e9, 1)
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
 # E7 — Brent speedup
 # ----------------------------------------------------------------------
 def run_e7_speedup(

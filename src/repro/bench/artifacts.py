@@ -124,3 +124,107 @@ def load_artifact(path: str) -> Dict[str, object]:
         document = json.load(fh)
     validate_artifact(document)
     return document
+
+
+#: Charged-cost columns that a perf change must NOT move.
+METRIC_KEYS = ("time", "work", "charged_work")
+
+#: Host-measurement columns (allowed — encouraged — to move between runs).
+_VOLATILE_KEYS = frozenset(
+    {
+        "wall_seconds",
+        "ns_per_node",
+        "brent_time",
+        "speedup",
+        "efficiency",
+        "throughput_rps",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "mean_occupancy",
+    }
+)
+
+
+def _row_identity(row: Mapping[str, object]) -> tuple:
+    """The stable identity of a result row: every column that is neither a
+    charged metric, a derived ratio (contains ``/``), nor a host timing."""
+    return tuple(
+        sorted(
+            (k, str(v))
+            for k, v in row.items()
+            if k not in METRIC_KEYS and k not in _VOLATILE_KEYS and "/" not in k
+        )
+    )
+
+
+def compare_charged_totals(
+    fresh: Mapping[str, object], committed: Mapping[str, object]
+) -> List[str]:
+    """Row-by-row charged-cost comparison of two artifacts of one experiment.
+
+    Returns a list of human-readable mismatch descriptions (empty = the
+    fresh run reproduces the committed charged totals exactly).  Rows are
+    matched on their identity columns (algorithm, n, workload, ...), so a
+    partial fresh sweep — e.g. the CI perf-smoke's single size — checks
+    against the matching slice of the committed full sweep.  Cells whose
+    config fingerprints match additionally pin the aggregate totals.
+    """
+    if fresh["experiment"] != committed["experiment"]:
+        return [
+            f"experiment mismatch: fresh={fresh['experiment']!r} "
+            f"committed={committed['experiment']!r}"
+        ]
+
+    def rows_by_identity(document: Mapping[str, object]) -> Dict[tuple, List[Mapping[str, object]]]:
+        grouped: Dict[tuple, List[Mapping[str, object]]] = {}
+        for cell in document["cells"]:  # type: ignore[union-attr]
+            for row in cell["rows"]:
+                grouped.setdefault(_row_identity(row), []).append(row)
+        return grouped
+
+    fresh_rows = rows_by_identity(fresh)
+    committed_rows = rows_by_identity(committed)
+    problems: List[str] = []
+    compared = 0
+    for identity, rows in sorted(fresh_rows.items()):
+        if identity not in committed_rows:
+            problems.append(f"row {dict(identity)} has no committed counterpart")
+            continue
+        if len(rows) > len(committed_rows[identity]):
+            # zip() below would silently drop the surplus fresh rows from
+            # the drift check — surface the cardinality mismatch instead
+            problems.append(
+                f"row {dict(identity)} appears {len(rows)}x fresh but only "
+                f"{len(committed_rows[identity])}x committed"
+            )
+        for row, committed_row in zip(rows, committed_rows[identity]):
+            compared += 1
+            for key in METRIC_KEYS:
+                if key in row or key in committed_row:
+                    if row.get(key) != committed_row.get(key):
+                        problems.append(
+                            f"{dict(identity)}: {key} changed "
+                            f"{committed_row.get(key)} -> {row.get(key)}"
+                        )
+    if compared == 0:
+        problems.append(
+            f"no comparable rows between fresh and committed "
+            f"{fresh['experiment']} artifacts"
+        )
+    committed_cells = {
+        cell["fingerprint"]: cell for cell in committed["cells"]  # type: ignore[union-attr]
+    }
+    for cell in fresh["cells"]:  # type: ignore[union-attr]
+        match = committed_cells.get(cell["fingerprint"])
+        if match is None:
+            continue
+        for key in METRIC_KEYS:
+            fresh_total = sum(int(r.get(key, 0) or 0) for r in cell["rows"])
+            committed_total = sum(int(r.get(key, 0) or 0) for r in match["rows"])
+            if fresh_total != committed_total:
+                problems.append(
+                    f"cell {cell['fingerprint']}: total {key} changed "
+                    f"{committed_total} -> {fresh_total}"
+                )
+    return problems

@@ -80,6 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="run and print, but do not write artifacts",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect per-span wall seconds next to the charged cost and "
+             "write BENCH_PROFILE.json (so perf work can see where real "
+             "time goes, not just where work is charged)",
+    )
+    parser.add_argument(
+        "--check-against", default=None, metavar="DIR",
+        help="compare the run's charged time/work/charged_work against the "
+             "committed BENCH_E*.json artifacts in DIR; any drift fails "
+             "the run (exit code 3) — perf changes must not move totals",
+    )
     parser.add_argument("--quiet", "-q", action="store_true", help="suppress table output")
     parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
@@ -130,11 +142,105 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         out_dir=None if args.dry_run else args.out_dir,
         echo=echo,
     )
-    results = runner.run(configs)
+    if args.profile:
+        from ..pram.metrics import wall_profiling
+
+        with wall_profiling() as profile:
+            results = runner.run(configs)
+        profile_path = _emit_profile(profile, args, ids, echo)
+    else:
+        results = runner.run(configs)
+        profile_path = None
     written = [r.path for r in results.values() if r.path]
+    if profile_path:
+        written.append(profile_path)
     if echo and written:
         echo("\n[repro.bench] artifacts: " + ", ".join(written))
+    if args.check_against is not None:
+        problems = _check_against(results, args.check_against, echo)
+        if problems:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            print(
+                f"error: charged totals drifted from the committed artifacts "
+                f"in {args.check_against!r} ({len(problems)} mismatches) — "
+                "perf changes must keep time/work/charged_work bit-identical",
+                file=sys.stderr,
+            )
+            return 3
+        if echo:
+            echo(
+                f"[repro.bench] check passed: charged totals match the "
+                f"committed artifacts in {args.check_against!r}"
+            )
     return 0
+
+
+def _emit_profile(profile, args, ids: List[str], echo) -> Optional[str]:
+    """Render the span wall-time table and persist BENCH_PROFILE.json."""
+    import json
+    import os
+
+    from ..analysis.tables import render_table
+
+    rows = profile.rows()
+    display = [
+        {
+            "span": r["span"],
+            "wall_seconds": round(float(r["wall_seconds"]), 6),
+            "time": r["time"],
+            "work": r["work"],
+            "charged_work": r["charged_work"],
+            "calls": r["calls"],
+        }
+        for r in rows
+    ]
+    if echo:
+        echo("\n" + render_table(
+            display[:25],
+            title="Profile: exclusive wall seconds by span (top 25) vs charged cost",
+        ))
+    if args.dry_run:
+        return None
+    os.makedirs(args.out_dir, exist_ok=True)
+    path = os.path.join(args.out_dir, "BENCH_PROFILE.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "schema": "repro.bench.profile",
+                "schema_version": 1,
+                "experiments": list(ids),
+                "spans": display,
+            },
+            fh,
+            indent=2,
+        )
+        fh.write("\n")
+    return path
+
+
+def _check_against(results, directory: str, echo) -> List[str]:
+    """Charged-totals drift check of `results` vs committed artifacts."""
+    import os
+
+    from .artifacts import artifact_filename, compare_charged_totals, load_artifact
+
+    problems: List[str] = []
+    for result in results.values():
+        path = os.path.join(directory, artifact_filename(result.experiment))
+        if not os.path.exists(path):
+            problems.append(f"no committed artifact {path} to check {result.experiment} against")
+            continue
+        try:
+            committed = load_artifact(path)
+        except ValueError as err:
+            problems.append(f"{path}: {err}")
+            continue
+        mismatches = compare_charged_totals(result.artifact, committed)
+        problems.extend(f"{result.experiment}: {m}" for m in mismatches)
+        if echo and not mismatches:
+            echo(f"[repro.bench] {result.experiment}: totals match {path}")
+    return problems
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -93,6 +93,18 @@ def _render_e10(rows: List[Row], config: SweepConfig) -> List[str]:
     return [render_table(rows, title="E10 (ablation): CRCW winner policy")]
 
 
+def _render_scaling(rows: List[Row], config: SweepConfig) -> List[str]:
+    workload = config.workload or "mixed"
+    wide = pivot(rows, "n", "algorithm", "wall_seconds")
+    return [
+        render_table(rows, columns=[
+            "algorithm", "n", "wall_seconds", "ns_per_node", "time", "work",
+            "charged_work", "work/n", "charged/(n lg lg n)"],
+            title=f"Scaling: wall-clock vs charged cost, workload={workload}"),
+        render_table(wide, title="Scaling pivot: wall seconds by algorithm"),
+    ]
+
+
 def _render_serving(rows: List[Row], config: SweepConfig) -> List[str]:
     return [render_table(rows, columns=[
         "n", "workers", "requests", "completed", "batches", "multi_batches",
@@ -231,6 +243,15 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             render=_render_e10,
             size_arg=None,
             default_params=(("k", 256), ("length", 32)),
+        ),
+        ExperimentSpec(
+            id="scaling",
+            title="Scaling: end-to-end wall-clock vs charged cost up to n = 2^20",
+            runner=exp.run_scaling,
+            render=_render_scaling,
+            default_sizes=(4096, 16384, 65536),
+            supports_workload=True,
+            supports_audit=True,
         ),
         ExperimentSpec(
             id="serving",

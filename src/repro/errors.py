@@ -70,6 +70,17 @@ class BudgetExceededError(ReproError):
         self.time = time
 
 
+class NonConvergenceWarning(UserWarning):
+    """Pointer jumping exhausted its round budget without a fixed point.
+
+    Emitted by :func:`repro.primitives.jump_to_fixed_point` when the
+    successor graph contains genuine cycles (so no fixed point exists) or
+    ``max_rounds`` was too small; callers that expect this — e.g. cycle
+    probing — should pass ``return_converged=True`` and inspect the flag
+    instead of relying on the warning.
+    """
+
+
 class SchedulingError(ReproError):
     """Invalid processor count or scheduling parameters."""
 

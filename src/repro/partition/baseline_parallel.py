@@ -58,8 +58,7 @@ def galley_iliopoulos_partition(
         idx = np.arange(n, dtype=np.int64)
         for _ in range(rounds):
             # pair (own code, code at 2^t ahead) -> new code via concurrent write
-            m.concurrent_write_pairs(table, labels, labels[ptr], address_base + idx)
-            labels = m.concurrent_read_pairs(table, labels, labels[ptr])
+            labels = m.concurrent_combine_pairs(table, labels, labels[ptr], address_base + idx)
             m.tick(n)
             ptr = ptr[ptr]
             address_base += n

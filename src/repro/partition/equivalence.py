@@ -120,8 +120,7 @@ def partition_cycles(
             if starts:
                 d1 = np.concatenate(starts)
                 d2 = d1 + stride
-                m.concurrent_write_pairs(table, eq[d1], eq[d2], address_base + d1)
-                eq[d1] = m.concurrent_read_pairs(table, eq[d1], eq[d2])
+                eq[d1] = m.concurrent_combine_pairs(table, eq[d1], eq[d2], address_base + d1)
             stride *= 2
 
         # The code at position 0 of each string now determines its class,

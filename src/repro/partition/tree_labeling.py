@@ -184,10 +184,7 @@ def _label_residual_forest(
     active = np.flatnonzero(residual)
     saturated_before = False
     for _round in range(max_rounds):
-        d1 = everyone
-        d2 = ptr[everyone]
-        sub.concurrent_write_pairs(table, eq[d1], eq[d2], address_base + d1)
-        eq = sub.concurrent_read_pairs(table, eq[d1], eq[d2])
+        eq = sub.concurrent_combine_pairs(table, eq, eq[ptr], address_base + everyone)
         sub.tick(n)
         ptr = ptr[ptr]
         address_base += n

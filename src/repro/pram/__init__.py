@@ -21,10 +21,12 @@ from .machine import Machine, resolve_machine
 from .memory import SharedArray, SparseTable
 from .metrics import (
     CostCounter,
+    SpanWallProfile,
     log_time_bound,
     log_work_bound,
     loglog_work_bound,
     sort_time_bound_bhatt,
+    wall_profiling,
 )
 from .models import (
     MODELS,
@@ -78,4 +80,6 @@ __all__ = [
     "loglog_work_bound",
     "log_time_bound",
     "sort_time_bound_bhatt",
+    "SpanWallProfile",
+    "wall_profiling",
 ]

@@ -55,6 +55,13 @@ def _data(arr: ArrayLike) -> np.ndarray:
     return arr.data if isinstance(arr, SharedArray) else arr
 
 
+def _as_index_array(indices) -> np.ndarray:
+    """``indices`` as int64, without copying when it already is int64."""
+    if isinstance(indices, np.ndarray) and indices.dtype == np.int64:
+        return indices
+    return np.asarray(indices, dtype=np.int64)
+
+
 _INT64_MAX = 2**63 - 1
 
 
@@ -157,13 +164,14 @@ class Machine:
     def alloc(self, n: int, fill: int = 0, *, name: str = "mem", dtype=np.int64) -> SharedArray:
         """Allocate a shared array of ``n`` cells initialised to ``fill``.
 
-        Allocation itself is free in the PRAM model (memory is given); the
-        *initialisation* is charged as one parallel step of ``n`` work when
-        ``fill`` is non-trivial, matching how the algorithms in the paper
-        count their initialisation loops.
+        Allocation itself is free in the PRAM model (memory is given, and
+        given zeroed); the *initialisation* is charged as one parallel step
+        of ``n`` work only when ``fill`` is non-trivial (non-zero), matching
+        how the algorithms in the paper count their initialisation loops —
+        a zero-filled array needs no processor to touch it.
         """
         data = np.full(n, fill, dtype=dtype)
-        if n:
+        if n and fill != 0:
             self.counter.tick(n)
         return SharedArray(name, data)
 
@@ -184,6 +192,16 @@ class Machine:
     def tick(self, work: int, *, rounds: int = 1) -> None:
         """Charge a step performed outside read/write (pure computation)."""
         self.counter.tick(work, rounds=rounds)
+
+    def charge_tree(self, n: int) -> None:
+        """Charge one balanced-tree sweep over ``n`` items in O(1) —
+        see :meth:`CostCounter.charge_tree`."""
+        self.counter.charge_tree(n)
+
+    def charge_rounds(self, work_per_round: int, rounds: int) -> None:
+        """Charge ``rounds`` rounds of ``work_per_round`` each in O(1) —
+        see :meth:`CostCounter.charge_rounds`."""
+        self.counter.charge_rounds(work_per_round, rounds)
 
     @contextmanager
     def span(self, label: str) -> Iterator[None]:
@@ -209,7 +227,7 @@ class Machine:
         duplicate indices raise :class:`~repro.errors.ConcurrentReadError`.
         """
         data = _data(array)
-        idx = np.asarray(indices, dtype=np.int64)
+        idx = _as_index_array(indices)
         if self.audit:
             self.model.read.check(idx)
         if charge:
@@ -231,8 +249,17 @@ class Machine:
         arbitrary winner on arbitrary CRCW.
         """
         data = _data(array)
-        idx = np.asarray(indices, dtype=np.int64)
-        vals = np.broadcast_to(np.asarray(values), idx.shape).astype(data.dtype, copy=False)
+        idx = _as_index_array(indices)
+        if (
+            isinstance(values, np.ndarray)
+            and values.shape == idx.shape
+            and values.dtype == data.dtype
+        ):
+            # Fast path: the common case of an aligned same-dtype value
+            # array skips the broadcast/astype round-trip entirely.
+            vals = values
+        else:
+            vals = np.broadcast_to(np.asarray(values), idx.shape).astype(data.dtype, copy=False)
         if charge:
             self.counter.tick(len(idx))
         if len(idx) == 0:
@@ -318,6 +345,68 @@ class Machine:
     # ------------------------------------------------------------------
     # common fused bulk steps (each counts as O(1) parallel rounds)
     # ------------------------------------------------------------------
+    def concurrent_combine_pairs(
+        self,
+        table: SparseTable,
+        keys_a: np.ndarray,
+        keys_b: np.ndarray,
+        values: np.ndarray,
+        *,
+        charge: bool = True,
+    ) -> np.ndarray:
+        """Fused pair write + read-back: the BB-table doubling step.
+
+        Equivalent to :meth:`concurrent_write_pairs` immediately followed by
+        :meth:`concurrent_read_pairs` of the *same* key pairs — the shape of
+        every doubling round of the paper's Algorithm *partition* — with
+        identical charging (two rounds of ``len(keys)`` work) and identical
+        auditing, but without rebuilding and binary-searching the table's
+        sorted key map: the winner of each cell is scattered straight back
+        to its writers.  The winners are still stored into ``table``, so
+        later reads and the space audit observe exactly the same cells.
+        """
+        ka = np.asarray(keys_a, dtype=np.int64)
+        kb = np.asarray(keys_b, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.int64)
+        if not (len(ka) == len(kb) == len(vals)):
+            raise ValueError("keys_a, keys_b and values must have equal length")
+        if charge:
+            # one concurrent-write round plus one concurrent-read round
+            self.counter.tick(2 * len(ka), rounds=2)
+        if len(ka) == 0:
+            return np.empty(0, dtype=np.int64)
+        flat, span = _encode_pairs(ka, kb)
+        winner = self.model.write.winner
+        needs_resolve = winner is ArbitraryWinner.RANDOM or (
+            self.audit
+            and (
+                not self.model.write.allow_concurrent
+                or self.model.write.require_common_value
+            )
+        )
+        if needs_resolve:
+            # Validation (or grouped RANDOM selection) goes through the
+            # model exactly as the unfused write does — and before the read
+            # check, matching the unfused write-then-read error order.
+            uniq, winners = self.model.write.resolve(flat, vals, rng=self.rng)
+            if self.audit and not self.model.read.allow_concurrent and len(ka) > 1:
+                self.model.read.check(flat)
+            out = winners[np.searchsorted(uniq, flat)]
+        else:
+            if self.audit and not self.model.read.allow_concurrent and len(ka) > 1:
+                self.model.read.check(flat)
+            uniq, inverse = np.unique(flat, return_inverse=True)
+            winners = np.empty(len(uniq), dtype=np.int64)
+            if winner is ArbitraryWinner.FIRST:
+                # reverse scatter: the last assignment per cell is the
+                # first (lowest-index) writer
+                winners[inverse[::-1]] = vals[::-1]
+            else:  # LAST
+                winners[inverse] = vals
+            out = winners[inverse]
+        table.store(uniq // span, uniq % span, winners, copy=False)
+        return out
+
     def map(self, func, *arrays: np.ndarray, rounds: int = 1) -> np.ndarray:
         """Apply an elementwise (vectorised) ``func`` — one step, |array| work.
 

@@ -97,17 +97,30 @@ class SparseTable:
 
     # The machine performs conflict resolution before calling these, so the
     # methods below see at most one write per key per step.
-    def store(self, keys_a: np.ndarray, keys_b: np.ndarray, values: np.ndarray) -> None:
-        """Store winner ``values`` at the given (already de-duplicated) keys."""
+    def store(
+        self,
+        keys_a: np.ndarray,
+        keys_b: np.ndarray,
+        values: np.ndarray,
+        *,
+        copy: bool = True,
+    ) -> None:
+        """Store winner ``values`` at the given (already de-duplicated) keys.
+
+        ``copy=False`` hands ownership of the arrays to the table (no
+        defensive copies); the machine uses it for arrays it freshly
+        computed during winner resolution and never touches again.
+        """
         if self._dense is not None:
             self._dense[keys_a, keys_b] = values
         if len(keys_a) == 0:
             return
-        self._pending.append((
-            np.asarray(keys_a, dtype=np.int64).copy(),
-            np.asarray(keys_b, dtype=np.int64).copy(),
-            np.asarray(values, dtype=np.int64).copy(),
-        ))
+        ka = np.asarray(keys_a, dtype=np.int64)
+        kb = np.asarray(keys_b, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.int64)
+        if copy:
+            ka, kb, vals = ka.copy(), kb.copy(), vals.copy()
+        self._pending.append((ka, kb, vals))
 
     def _commit(self) -> None:
         """Merge pending stores into the sorted map (later stores win)."""
@@ -125,17 +138,32 @@ class SparseTable:
             self._flat = (self._flat // self._span) * span + (self._flat % self._span)
         self._span = span
         self._max_a = max_a
-        flats = [self._flat] + [ka * span + kb for ka, kb, _ in self._pending]
-        vals = [self._vals] + [v for _, _, v in self._pending]
+        flats = [ka * span + kb for ka, kb, _ in self._pending]
+        vals = [v for _, _, v in self._pending]
         self._pending.clear()
-        all_flat = np.concatenate(flats)
-        all_vals = np.concatenate(vals)
+        new_flat = np.concatenate(flats) if len(flats) > 1 else flats[0]
+        new_vals = np.concatenate(vals) if len(vals) > 1 else vals[0]
         # Stable sort keeps insertion order within equal keys; the last
         # occurrence of a key is therefore the latest store — it wins.
-        order = np.argsort(all_flat, kind="stable")
-        sf, sv = all_flat[order], all_vals[order]
+        order = np.argsort(new_flat, kind="stable")
+        sf, sv = new_flat[order], new_vals[order]
         keep = np.append(sf[1:] != sf[:-1], True)
-        self._flat, self._vals = sf[keep], sv[keep]
+        sf, sv = sf[keep], sv[keep]
+        if len(self._flat) == 0:
+            self._flat, self._vals = sf, sv
+        elif sf[0] > self._flat[-1]:
+            # Append fast path: doubling rounds address disjoint, increasing
+            # key ranges, so the already-sorted map need not be rebuilt —
+            # the new chunk concatenates onto it.
+            self._flat = np.concatenate([self._flat, sf])
+            self._vals = np.concatenate([self._vals, sv])
+        else:
+            all_flat = np.concatenate([self._flat, sf])
+            all_vals = np.concatenate([self._vals, sv])
+            order = np.argsort(all_flat, kind="stable")
+            af, av = all_flat[order], all_vals[order]
+            keep = np.append(af[1:] != af[:-1], True)
+            self._flat, self._vals = af[keep], av[keep]
 
     def load(self, keys_a: np.ndarray, keys_b: np.ndarray, default: int = -1) -> np.ndarray:
         """Read the values stored at each key pair (vectorised binary search)."""

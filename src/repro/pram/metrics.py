@@ -31,6 +31,8 @@ otherwise, and both are preserved so the substitution is auditable.
 from __future__ import annotations
 
 import math
+import threading
+import time as _time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -48,6 +50,86 @@ class SpanRecord:
     work: int = 0
     charged_work: int = 0
     ticks: int = 0
+
+
+class SpanWallProfile:
+    """Per-span wall-clock aggregated next to the charged PRAM cost.
+
+    Installed by :func:`wall_profiling`; while active, every
+    :meth:`CostCounter.span` enter/exit reports to it.  Wall seconds are
+    *exclusive* of child spans (matching how ``SpanRecord`` records charged
+    cost at the exact nesting path) and are aggregated across every counter
+    alive during the profiling window, so concurrent sub-counters (e.g. the
+    per-cycle m.s.p. machines) fold into one line per span path.
+    """
+
+    def __init__(self) -> None:
+        self.spans: Dict[str, Dict[str, object]] = {}
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _enter(self, path: str, rec: SpanRecord) -> None:
+        self._stack().append(
+            [_time.perf_counter(), 0.0, rec.time, rec.work, rec.charged_work]
+        )
+
+    def _exit(self, path: str, rec: SpanRecord) -> None:
+        t0, child_wall, time0, work0, charged0 = self._stack().pop()
+        elapsed = _time.perf_counter() - t0
+        if self._stack():
+            self._stack()[-1][1] += elapsed
+        # The span stack is thread-local but the aggregate is shared, and
+        # profiled runs may drive machines from worker threads (e.g. the
+        # serving shards) — serialise the read-modify-write.
+        with self._lock:
+            agg = self.spans.setdefault(
+                path,
+                {"wall_seconds": 0.0, "time": 0, "work": 0, "charged_work": 0, "calls": 0},
+            )
+            agg["wall_seconds"] += elapsed - child_wall  # type: ignore[operator]
+            agg["time"] += rec.time - time0  # type: ignore[operator]
+            agg["work"] += rec.work - work0  # type: ignore[operator]
+            agg["charged_work"] += rec.charged_work - charged0  # type: ignore[operator]
+            agg["calls"] += 1  # type: ignore[operator]
+
+    def rows(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Span rows sorted by exclusive wall seconds, heaviest first."""
+        out = [
+            {"span": path, **values}
+            for path, values in sorted(
+                self.spans.items(), key=lambda kv: -float(kv[1]["wall_seconds"])  # type: ignore[arg-type]
+            )
+        ]
+        return out[:limit] if limit is not None else out
+
+
+#: The profiler the next `CostCounter.span` reports to (``None`` = off).
+_active_wall_profiler: Optional[SpanWallProfile] = None
+
+
+@contextmanager
+def wall_profiling() -> Iterator[SpanWallProfile]:
+    """Collect per-span wall seconds for every counter used in the block.
+
+    Zero overhead when not active (a single ``None`` check per span).  The
+    yielded :class:`SpanWallProfile` keeps accumulating until the block
+    exits; nesting restores the previous profiler.
+    """
+    global _active_wall_profiler
+    profile = SpanWallProfile()
+    previous = _active_wall_profiler
+    _active_wall_profiler = profile
+    try:
+        yield profile
+    finally:
+        _active_wall_profiler = previous
 
 
 class CostCounter:
@@ -119,6 +201,39 @@ class CostCounter:
             rec = self._spans.setdefault(label, SpanRecord(label))
             rec.ticks += 1
         self._check_budget()
+
+    def charge_tree(self, n: int, *, label: Optional[str] = None) -> None:
+        """Charge one balanced-binary-tree sweep over ``n`` items in O(1).
+
+        Closed form of the classic up-sweep (or down-sweep) schedule in
+        which the number of active processors halves (or doubles) each
+        round: ``ceil(log2 n)`` rounds and exactly ``n - 1`` operations —
+        each round pairs off the surviving items, so the total work is the
+        number of eliminations.  This is arithmetically identical to
+        looping ``level = n; while level > 1: tick(level // 2); level =
+        ceil(level / 2)`` (and to the mirrored doubling loop), without the
+        O(log n) Python iterations.  ``n <= 1`` charges nothing, matching
+        the loops it replaces.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n > 1:
+            self.tick(n - 1, rounds=(n - 1).bit_length(), label=label)
+
+    def charge_rounds(
+        self, work_per_round: int, rounds: int, *, label: Optional[str] = None
+    ) -> None:
+        """Charge ``rounds`` synchronous rounds of ``work_per_round`` each.
+
+        Closed form of ``for _ in range(rounds): tick(work_per_round)`` —
+        total work is ``work_per_round * rounds``.  Used by loops whose
+        per-round processor count is constant (pointer doubling, repeated
+        squaring), so the accounting is one call instead of O(log n) ticks.
+        """
+        if work_per_round < 0 or rounds < 0:
+            raise ValueError("work and rounds must be non-negative")
+        if rounds:
+            self.tick(work_per_round * rounds, rounds=rounds, label=label)
 
     def charge_adapter(
         self,
@@ -203,11 +318,16 @@ class CostCounter:
         self._span_stack.append(label)
         path = "/".join(self._span_stack)
         rec = self._spans.setdefault(path, SpanRecord(path))
+        profiler = _active_wall_profiler
+        if profiler is not None:
+            profiler._enter(path, rec)
         try:
             yield rec
         finally:
             popped = self._span_stack.pop()
             assert popped == label
+            if profiler is not None:
+                profiler._exit(path, rec)
 
     def span_cost(self, path: str) -> Tuple[int, int]:
         """Return ``(time, work)`` charged at span ``path`` (exact match)."""

@@ -163,11 +163,20 @@ def _circuit_ids(successor: np.ndarray, machine: Machine) -> np.ndarray:
     label = np.arange(n, dtype=np.int64)
     rounds = int(np.ceil(np.log2(max(2, n)))) + 1
     performed = 0
+    labels_stable = False
     for _ in range(rounds):
         performed += 1
-        new_label = np.minimum(label, label[ptr])
+        if not labels_stable:
+            gathered = label[ptr]
+            new_label = np.minimum(label, gathered)
+            # min(label, gathered) == label  <=>  nothing gathered was smaller;
+            # once true it stays true (labels are constant along every pointer
+            # orbit from then on), so later rounds skip the label pass.
+            labels_stable = not bool((gathered < label).any())
+        else:
+            new_label = label
         new_ptr = ptr[ptr]
-        if np.array_equal(new_label, label) and np.array_equal(new_ptr, ptr):
+        if labels_stable and np.array_equal(new_ptr, ptr):
             break
         label, ptr = new_label, new_ptr
     machine.counter.charge_adapter(

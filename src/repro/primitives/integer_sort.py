@@ -51,28 +51,29 @@ def _ensure_machine(machine: Optional[Machine]) -> Machine:
     return machine if machine is not None else Machine.default()
 
 
-def _counting_sort_pass(
-    keys: np.ndarray,
-    order: np.ndarray,
-    num_buckets: int,
-) -> Tuple[np.ndarray, int, int]:
-    """One stable counting-sort pass applied to ``order`` by ``keys[order]``.
+def _radix_pass_plan(n: int, key_range: int) -> Tuple[int, int, int]:
+    """Closed-form cost of the LSD radix schedule over base-``n`` digits.
 
-    Returns ``(new_order, rounds, work)`` where rounds/work describe the
-    PRAM cost of the pass when implemented with prefix sums: a histogram
-    (O(n) work), a scan over the buckets (O(num_buckets) work, O(log)
-    rounds), and a stable scatter (O(n) work).
+    Returns ``(passes, incurred_rounds, incurred_work)`` for sorting ``n``
+    keys below ``key_range``.  Each counting-sort pass is the standard PRAM
+    recipe — histogram (O(n) work), bucket scan (O(num_buckets) work over
+    O(log num_buckets) rounds), stable scatter (O(n) work) — and passes are
+    separated by one O(n)-work re-gather round.  The figures are exactly
+    what charging the passes one by one used to accumulate; only the O(p)
+    Python iterations are gone.
     """
-    n = len(order)
-    digit = keys[order]
-    counts = np.bincount(digit, minlength=num_buckets)
-    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    # Stable scatter: within a bucket keep current relative order.  NumPy's
-    # stable argsort over the digit realises exactly that placement.
-    new_order = order[np.argsort(digit, kind="stable")]
-    rounds = 2 * int(np.ceil(np.log2(max(2, num_buckets)))) + 3
-    work = 2 * n + num_buckets
-    return new_order, rounds, work
+    base = max(2, n)
+    num_buckets = min(base, key_range)
+    passes = 1
+    remaining = (key_range + base - 1) // base
+    while remaining > 1:
+        passes += 1
+        remaining = (remaining + base - 1) // base
+    pass_rounds = 2 * int(np.ceil(np.log2(max(2, num_buckets)))) + 3
+    pass_work = 2 * n + num_buckets
+    incurred_rounds = passes * pass_rounds + (passes - 1)
+    incurred_work = passes * pass_work + (passes - 1) * n
+    return passes, incurred_rounds, incurred_work
 
 
 def sort_by_keys(
@@ -106,27 +107,12 @@ def sort_by_keys(
         raise ValueError("keys exceed the declared key_range")
 
     # Radix decomposition in base max(2, n): the paper's ranges are always
-    # polynomial in n, so the number of passes is a small constant.
-    base = max(2, n)
-    order = np.arange(n, dtype=np.int64)
-    incurred_rounds = 0
-    incurred_work = 0
-    remaining = rng
-    shift_keys = k.copy()
-    passes = 0
-    while True:
-        digit = shift_keys % base
-        order, rounds, work = _counting_sort_pass(digit, order, min(base, rng))
-        incurred_rounds += rounds
-        incurred_work += work
-        passes += 1
-        shift_keys = shift_keys // base
-        remaining = (remaining + base - 1) // base
-        if remaining <= 1:
-            break
-        # re-gather keys in the new order for the next stable pass
-        incurred_work += n
-        incurred_rounds += 1
+    # polynomial in n, so the number of passes is a small constant.  The
+    # composition of the stable base-n counting-sort passes is a stable
+    # sort by the full key, so a single stable argsort realises the same
+    # permutation; the charging keeps the per-pass schedule's arithmetic.
+    _passes, incurred_rounds, incurred_work = _radix_pass_plan(n, rng)
+    order = np.argsort(k, kind="stable").astype(np.int64, copy=False)
 
     if not stable:
         # Nothing extra to do: the stable result is also a valid unstable one.

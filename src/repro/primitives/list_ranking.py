@@ -32,6 +32,7 @@ import numpy as np
 
 from ..pram.machine import Machine
 from ..types import as_int_array
+from .pointer_jumping import frontier_jump
 
 
 def _ensure_machine(machine: Optional[Machine]) -> Machine:
@@ -61,16 +62,36 @@ def wyllie_rank(successor, *, machine: Optional[Machine] = None) -> np.ndarray:
     with m.span("wyllie_rank"):
         m.tick(n)  # initialisation
         rounds = int(np.ceil(np.log2(max(2, n)))) + 1
-        for _ in range(rounds):
-            m.tick(n)
-            not_done = succ != succ[succ]
-            new_rank = rank + rank[succ]
-            new_succ = succ[succ]
-            rank = np.where(succ != np.arange(n), new_rank, rank)
-            succ = new_succ
-            if not not_done.any():
-                break
+        _weighted_frontier_doubling(succ, rank, rounds, n, m)
     return rank
+
+
+def _weighted_frontier_doubling(
+    succ: np.ndarray,
+    rank: np.ndarray,
+    max_rounds: int,
+    work_per_round: int,
+    machine: Machine,
+) -> None:
+    """Weighted pointer doubling in place, touching only moving pointers.
+
+    Performs the Wyllie recurrence ``rank[x] += rank[succ[x]]; succ[x] =
+    succ[succ[x]]`` for every node whose pointer has not yet reached a
+    tail.  Nodes already pointing at a tail are provably no-ops (tails keep
+    rank 0 and point to themselves), so restricting the host gather/scatter
+    to the frontier leaves the results — and the PRAM charge of
+    ``work_per_round`` per round — exactly as the full-array sweep.
+    """
+    active = np.flatnonzero(succ[succ] != succ)
+    for _ in range(max_rounds):
+        machine.tick(work_per_round)
+        if len(active) == 0:
+            break
+        sa = succ[active]
+        rank[active] += rank[sa]
+        nxt = succ[sa]
+        succ[active] = nxt
+        active = active[succ[nxt] != nxt]
 
 
 def _sequential_sublist_walk(
@@ -80,6 +101,12 @@ def _sequential_sublist_walk(
     machine: Machine,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Walk from every ruler to the next ruler (or tail), recording local ranks.
+
+    Precondition: ``is_ruler`` must cover every tail (``succ[t] == t``) —
+    the caller includes ``is_tail`` in the ruler set.  The walk relies on
+    it: after round 1 every live cursor sits on a non-ruler (hence
+    non-tail) node, so the per-round tail test is skipped; a non-ruler
+    tail would self-step forever and never record an arrival.
 
     Returns ``(local_offset, next_ruler, sublist_length)`` where
     ``local_offset[x]`` is the number of hops from node ``x``'s ruler to
@@ -99,41 +126,49 @@ def _sequential_sublist_walk(
     sublist_length = np.zeros(n, dtype=np.int64)
 
     # Vectorised simultaneous walk: one "cursor" per ruler advances one hop
-    # per round until it reaches the next ruler or a tail.
-    cursors = rulers.copy()
-    active = np.ones(len(rulers), dtype=bool)
+    # per round until it reaches the next ruler or a tail.  The walkers are
+    # kept as *compact* arrays (ruler, cursor, step count) that shrink as
+    # walks finish, so each round's host work — like its PRAM charge —
+    # tracks the number of still-walking rulers rather than re-copying
+    # full-size state arrays.
     local_offset[rulers] = 0
     owner_ruler[rulers] = rulers
-    steps = np.zeros(len(rulers), dtype=np.int64)
+    act_rulers = rulers
+    act_cursors = rulers
+    act_steps = np.zeros(len(rulers), dtype=np.int64)
     max_rounds = n + 1
+    first_round = True
     for _ in range(max_rounds):
-        if not active.any():
+        if len(act_rulers) == 0:
             break
-        machine.tick(int(active.sum()))
-        cur = cursors[active]
-        nxt = succ[cur]
-        at_tail = nxt == cur
-        arrived = is_ruler[nxt] | at_tail
-        steps_active = steps[active] + ~at_tail
+        machine.tick(len(act_rulers))
+        nxt = succ[act_cursors]
+        if first_round:
+            # A cursor can sit *on* a tail only in the first round (the
+            # ruler itself is the tail); surviving cursors are non-ruler —
+            # hence non-tail — nodes, so later rounds skip the tail test.
+            first_round = False
+            at_tail = nxt == act_cursors
+            arrived = is_ruler[nxt] | at_tail
+            steps_now = act_steps + ~at_tail
+            arrived_target = np.where(at_tail[arrived], act_cursors[arrived], nxt[arrived])
+        else:
+            arrived = is_ruler[nxt]
+            steps_now = act_steps + 1
+            arrived_target = nxt[arrived]
         # annotate the nodes we step onto (only when they are not rulers/tails)
         stepping = ~arrived
         stepped_nodes = nxt[stepping]
-        local_offset[stepped_nodes] = steps_active[stepping]
-        owner_ruler[stepped_nodes] = rulers[active][stepping]
+        local_offset[stepped_nodes] = steps_now[stepping]
+        owner_ruler[stepped_nodes] = act_rulers[stepping]
         # record arrivals
-        arrived_rulers = rulers[active][arrived]
-        next_ruler[arrived_rulers] = np.where(at_tail[arrived], cur[arrived], nxt[arrived])
-        sublist_length[arrived_rulers] = steps_active[arrived]
-        # advance
-        new_cursors = cursors.copy()
-        new_cursors[active] = nxt
-        cursors = new_cursors
-        new_steps = steps.copy()
-        new_steps[active] = steps_active
-        steps = new_steps
-        still = np.flatnonzero(active)[~arrived]
-        active = np.zeros_like(active)
-        active[still] = True
+        arrived_rulers = act_rulers[arrived]
+        next_ruler[arrived_rulers] = arrived_target
+        sublist_length[arrived_rulers] = steps_now[arrived]
+        # advance the surviving walkers
+        act_rulers = act_rulers[stepping]
+        act_cursors = stepped_nodes
+        act_steps = steps_now[stepping]
     return local_offset, owner_ruler, (next_ruler, sublist_length)
 
 
@@ -190,24 +225,13 @@ def optimal_rank(
 
         # Weighted Wyllie on the contracted list (k = O(n / log n) nodes).
         # c_rank starts as the weight of the outgoing contracted edge (the
-        # number of hops from this ruler to the next ruler/tail), which is
-        # already the rank-to-tail for rulers whose successor is a tail of
-        # the contracted list; pointer doubling accumulates the rest.
+        # number of hops from this ruler to the next ruler/tail); the
+        # contracted tails are the real list tails (weight 0), so the
+        # frontier doubling accumulates exactly the rank-to-tail.
         c_succ = contracted_succ.copy()
-        c_idx = np.arange(k, dtype=np.int64)
         c_rank = weights.copy()
-        c_rank[c_succ == c_idx] = weights[c_succ == c_idx]
         rounds = int(np.ceil(np.log2(max(2, k)))) + 1
-        for _ in range(rounds):
-            m.tick(k)
-            moving = c_succ != c_idx
-            new_rank = np.where(moving, c_rank + c_rank[c_succ], c_rank)
-            new_succ = np.where(moving, c_succ[c_succ], c_succ)
-            changed = not np.array_equal(new_succ, c_succ)
-            c_rank = new_rank
-            c_succ = new_succ
-            if not changed:
-                break
+        _weighted_frontier_doubling(c_succ, c_rank, rounds, k, m)
 
         # Ruler r's rank-to-tail = its contracted rank. A node x in r's
         # sublist sits local_offset[x] hops below r, so its rank is
@@ -276,10 +300,5 @@ def _tail_of(successor: np.ndarray, machine: Machine) -> np.ndarray:
     succ = successor.copy()
     n = len(succ)
     rounds = int(np.ceil(np.log2(max(2, n)))) + 1
-    for _ in range(rounds):
-        machine.tick(n)
-        nxt = succ[succ]
-        if np.array_equal(nxt, succ):
-            break
-        succ = nxt
+    frontier_jump(succ, rounds, machine)
     return succ

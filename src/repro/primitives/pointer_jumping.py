@@ -19,10 +19,12 @@ All functions charge ``O(n)`` work per round, ``O(log n)`` rounds — i.e.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import warnings
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ..errors import NonConvergenceWarning
 from ..pram.machine import Machine
 from ..types import as_int_array
 
@@ -31,7 +33,35 @@ def _ensure_machine(machine: Optional[Machine]) -> Machine:
     return machine if machine is not None else Machine.default()
 
 
-def jump_to_fixed_point(successor, *, machine: Optional[Machine] = None, max_rounds: Optional[int] = None) -> np.ndarray:
+def frontier_jump(succ: np.ndarray, max_rounds: int, machine: Machine) -> bool:
+    """Pointer-double ``succ`` in place, touching only still-moving pointers.
+
+    The PRAM charge is unchanged — every round costs ``n`` work, because
+    the model keeps all processors busy — but the *host* only gathers and
+    scatters the frontier of pointers ``x`` with ``succ[succ[x]] !=
+    succ[x]``, which shrinks geometrically on rooted forests instead of
+    forcing an O(n) ``np.array_equal`` sweep per round.  Returns ``True``
+    iff the fixed point was reached within ``max_rounds``.
+    """
+    n = len(succ)
+    active = np.flatnonzero(succ[succ] != succ)
+    for _ in range(max_rounds):
+        machine.tick(n)
+        if len(active) == 0:
+            return True
+        nxt = succ[succ[active]]
+        succ[active] = nxt
+        active = active[succ[nxt] != nxt]
+    return len(active) == 0
+
+
+def jump_to_fixed_point(
+    successor,
+    *,
+    machine: Optional[Machine] = None,
+    max_rounds: Optional[int] = None,
+    return_converged: bool = False,
+) -> Union[np.ndarray, Tuple[np.ndarray, bool]]:
     """Iterate ``succ <- succ[succ]`` until no pointer changes.
 
     For a successor array whose functional graph is a forest of trees
@@ -39,23 +69,32 @@ def jump_to_fixed_point(successor, *, machine: Optional[Machine] = None, max_rou
     maps every node to its root in ``O(log depth)`` rounds.
 
     For graphs containing genuine cycles the iteration is still well
-    defined but does not reach a fixed point; ``max_rounds`` (default
-    ``ceil(log2 n) + 1``) bounds the number of rounds in that case.
+    defined but never reaches a fixed point; ``max_rounds`` (default
+    ``ceil(log2 n) + 1``) bounds the number of rounds in that case and the
+    non-convergence is surfaced: with ``return_converged=True`` the
+    function returns ``(pointers, converged)``, otherwise it emits a
+    :class:`~repro.errors.NonConvergenceWarning` so "round budget
+    exhausted" is never silently mistaken for "fixed point reached".
     """
     m = _ensure_machine(machine)
     succ = as_int_array(successor, "successor").copy()
     n = len(succ)
     if n == 0:
-        return succ
+        return (succ, True) if return_converged else succ
     if max_rounds is None:
         max_rounds = int(np.ceil(np.log2(max(2, n)))) + 1
     with m.span("pointer_jumping"):
-        for _ in range(max_rounds):
-            m.tick(n)
-            nxt = succ[succ]
-            if np.array_equal(nxt, succ):
-                break
-            succ = nxt
+        converged = frontier_jump(succ, max_rounds, m)
+    if return_converged:
+        return succ, converged
+    if not converged:
+        warnings.warn(
+            f"jump_to_fixed_point did not reach a fixed point within "
+            f"{max_rounds} rounds (the successor graph may contain cycles); "
+            "pass return_converged=True to handle this without the warning",
+            NonConvergenceWarning,
+            stacklevel=2,
+        )
     return succ
 
 
@@ -96,14 +135,20 @@ def distance_to_marked(
     max_rounds = int(np.ceil(np.log2(max(2, n)))) + 1
     with m.span("distance_to_marked"):
         m.tick(n)  # initialisation
+        # Frontier: nodes still looking for a marked node.  A node freezes
+        # (and stays frozen) once its pointer sits on a marked node, so the
+        # active set only shrinks and the host work tracks it.
+        active = np.flatnonzero(~mark & ~mark[ptr])
         for _ in range(max_rounds):
-            advance = ~mark & ~mark[ptr]
-            if not advance.any():
+            if len(active) == 0:
                 break
             m.tick(n)
-            dist = np.where(advance, dist + dist[ptr], dist)
-            ptr = np.where(advance, ptr[ptr], ptr)
-        if not (mark | mark[ptr]).all():
+            pa = ptr[active]
+            dist[active] += dist[pa]
+            new_ptr = ptr[pa]
+            ptr[active] = new_ptr
+            active = active[~mark[new_ptr]]
+        if len(active):
             raise ValueError("some successor paths never reach a marked node")
     target = np.where(mark, idx, ptr)
     dist = np.where(mark, 0, dist)
@@ -124,8 +169,9 @@ def kth_successor(successor, k: int, *, machine: Optional[Machine] = None) -> np
     power = succ.copy()
     kk = k
     with m.span("kth_successor"):
+        # one round of n work per bit of k, charged in closed form
+        m.charge_rounds(n, int(k).bit_length())
         while kk:
-            m.tick(n)
             if kk & 1:
                 result = power[result]
             kk >>= 1

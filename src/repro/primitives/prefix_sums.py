@@ -46,15 +46,10 @@ def prefix_sums(values, *, machine: Optional[Machine] = None, inclusive: bool = 
     if n == 0:
         return arr.copy()
     with m.span("prefix_sums"):
-        # Up-sweep / down-sweep charge: active processors halve each level.
-        level_size = n
-        while level_size > 1:
-            m.tick(level_size // 2)
-            level_size = (level_size + 1) // 2
-        level_size = 1
-        while level_size < n:
-            m.tick(min(level_size, n - level_size))
-            level_size *= 2
+        # Up-sweep + down-sweep: each sweep is one balanced-tree schedule
+        # (n - 1 work over ceil(log2 n) rounds), charged in closed form.
+        m.charge_tree(n)
+        m.charge_tree(n)
         out = np.cumsum(arr)
     if inclusive:
         return out
@@ -72,10 +67,7 @@ def reduce_sum(values, *, machine: Optional[Machine] = None) -> int:
     if n == 0:
         return 0
     with m.span("reduce"):
-        level_size = n
-        while level_size > 1:
-            m.tick(level_size // 2)
-            level_size = (level_size + 1) // 2
+        m.charge_tree(n)
         return int(arr.sum())
 
 
@@ -92,10 +84,7 @@ def reduce_min(values, *, machine: Optional[Machine] = None) -> int:
     if len(arr) == 0:
         raise ValueError("reduce_min of an empty array")
     with m.span("reduce"):
-        level_size = len(arr)
-        while level_size > 1:
-            m.tick(level_size // 2)
-            level_size = (level_size + 1) // 2
+        m.charge_tree(len(arr))
         return int(arr.min())
 
 
@@ -163,10 +152,7 @@ def segmented_prefix_sums(
     if not heads[0]:
         raise ValueError("the first position must be a segment head")
     with m.span("segmented_prefix_sums"):
-        level_size = n
-        while level_size > 1:
-            m.tick(level_size // 2)
-            level_size = (level_size + 1) // 2
+        m.charge_tree(n)
         m.tick(n)
         total = np.cumsum(vals)
         head_positions = np.flatnonzero(heads)

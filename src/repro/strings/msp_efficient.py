@@ -101,8 +101,9 @@ def efficient_msp(
             # Step 1: smallest symbol and candidate marking.
             smallest = reduce_min(current, machine=m)
             m.tick(len(current))
-            prev = np.roll(current, 1)
-            marked = (current == smallest) & (prev != smallest)
+            marked = current == smallest
+            marked[1:] &= current[:-1] != smallest
+            marked[0] &= current[-1] != smallest
             num_marked = int(marked.sum())
             if num_marked == 1:
                 idx = int(positions[int(np.flatnonzero(marked)[0])])

@@ -54,7 +54,7 @@ def test_registry_rejects_unknown_experiment():
     with pytest.raises(KeyError, match="unknown experiment"):
         get_experiment("e99")
     # e1..e10 in numeric order, then named experiments alphabetically
-    assert experiment_ids() == [f"e{i}" for i in range(1, 11)] + ["serving"]
+    assert experiment_ids() == [f"e{i}" for i in range(1, 11)] + ["scaling", "serving"]
 
 
 # ----------------------------------------------------------------------
@@ -161,3 +161,96 @@ def test_multi_workload_cells_are_labelled_with_every_workload():
         SweepConfig("e1", sizes=(64,), workload="permutation"),
     ])
     assert any("workload=mixed,permutation" in table for table in result.tables)
+
+
+# ----------------------------------------------------------------------
+# scaling experiment, --profile, --check-against (engine-overhaul PR)
+# ----------------------------------------------------------------------
+def test_scaling_experiment_rows_carry_wall_clock():
+    runner = BenchmarkRunner()
+    result = runner.run_experiment([
+        SweepConfig("scaling", sizes=(64, 256), workload="mixed", seed=0)
+    ])
+    ours = [r for r in result.rows if r["algorithm"] == "jaja-ryu"]
+    assert [r["n"] for r in ours] == [64, 256]
+    for row in result.rows:
+        assert row["wall_seconds"] > 0
+        assert row["ns_per_node"] > 0
+        assert row["charged_work"] >= row["n"] or row["algorithm"] == "paige-tarjan-bonic"
+    assert any("Scaling" in table for table in result.tables)
+
+
+def test_cli_profile_writes_span_report(tmp_path):
+    rc = bench_main([
+        "-e", "e5", "-n", "4", "-o", str(tmp_path), "-q", "--profile",
+    ])
+    assert rc == 0
+    report = json.loads((tmp_path / "BENCH_PROFILE.json").read_text())
+    assert report["schema"] == "repro.bench.profile"
+    spans = {row["span"]: row for row in report["spans"]}
+    assert any("partition_cycles" in s for s in spans)
+    for row in report["spans"]:
+        assert row["wall_seconds"] >= 0
+        assert row["calls"] >= 1
+        assert {"time", "work", "charged_work"} <= set(row)
+
+
+def test_cli_check_against_passes_on_identical_run(tmp_path):
+    assert bench_main(["-e", "e1", "-n", "64,128", "-o", str(tmp_path), "-q"]) == 0
+    # identical rerun (dry) must reproduce the charged totals exactly
+    assert bench_main([
+        "-e", "e1", "-n", "64,128", "--dry-run", "-q",
+        "--check-against", str(tmp_path),
+    ]) == 0
+    # a partial sweep (the CI perf-smoke shape) still checks against the
+    # matching slice of the committed full sweep
+    assert bench_main([
+        "-e", "e1", "-n", "128", "--dry-run", "-q",
+        "--check-against", str(tmp_path),
+    ]) == 0
+
+
+def test_cli_check_against_fails_on_tampered_totals(tmp_path, capsys):
+    assert bench_main(["-e", "e5", "-n", "4", "-o", str(tmp_path), "-q"]) == 0
+    path = tmp_path / "BENCH_E5.json"
+    document = json.loads(path.read_text())
+    document["cells"][0]["rows"][0]["work"] += 1
+    path.write_text(json.dumps(document))
+    rc = bench_main([
+        "-e", "e5", "-n", "4", "--dry-run", "-q",
+        "--check-against", str(tmp_path),
+    ])
+    assert rc == 3
+    assert "work changed" in capsys.readouterr().err
+
+
+def test_cli_check_against_fails_when_artifact_missing(tmp_path):
+    rc = bench_main([
+        "-e", "e5", "-n", "4", "--dry-run", "-q",
+        "--check-against", str(tmp_path),
+    ])
+    assert rc == 3
+
+
+def test_compare_charged_totals_matches_rows_by_identity():
+    from repro.bench.artifacts import compare_charged_totals
+
+    def doc(work, wall):
+        return {
+            "experiment": "e1",
+            "cells": [{
+                "fingerprint": "sha256:x",
+                "rows": [{"algorithm": "a", "n": 64, "time": 2, "work": work,
+                          "charged_work": work, "work/n": work / 64,
+                          "wall_seconds": wall}],
+            }],
+        }
+
+    # wall-clock and derived ratios may move freely; charged totals may not
+    assert compare_charged_totals(doc(100, 0.5), doc(100, 9.9)) == []
+    problems = compare_charged_totals(doc(101, 0.5), doc(100, 0.5))
+    assert problems and any("work changed 100 -> 101" in p for p in problems)
+    mismatch = compare_charged_totals(
+        {"experiment": "e1", "cells": []}, {"experiment": "e2", "cells": []}
+    )
+    assert "experiment mismatch" in mismatch[0]

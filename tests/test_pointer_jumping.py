@@ -50,3 +50,41 @@ def test_kth_successor_matches_iteration(machine, rng):
 def test_kth_successor_rejects_negative(machine):
     with pytest.raises(ValueError):
         kth_successor(np.array([0]), -1, machine=machine)
+
+
+def test_jump_to_fixed_point_reports_convergence(machine):
+    parent = np.array([0, 0, 1, 1, 3, 5])
+    roots, converged = jump_to_fixed_point(parent, machine=machine, return_converged=True)
+    assert converged is True
+    assert roots.tolist() == [0, 0, 0, 0, 0, 5]
+
+
+def test_jump_to_fixed_point_warns_on_cycles(machine):
+    from repro.errors import NonConvergenceWarning
+
+    cycle = np.array([1, 2, 0])  # a genuine 3-cycle: no fixed point exists
+    with pytest.warns(NonConvergenceWarning, match="did not reach a fixed point"):
+        jump_to_fixed_point(cycle, machine=machine)
+
+
+def test_jump_to_fixed_point_cycle_flag_without_warning(machine, recwarn):
+    # NB: a cycle whose length is a power of two legitimately converges (the
+    # doubled pointer map reaches the identity), so probe with a 5-cycle.
+    cycle = np.array([1, 2, 3, 4, 0, 5])
+    _, converged = jump_to_fixed_point(cycle, machine=machine, return_converged=True)
+    assert converged is False
+    assert not [w for w in recwarn.list if "fixed point" in str(w.message)]
+
+
+def test_jump_to_fixed_point_round_budget_exhaustion(machine):
+    # a deep chain with max_rounds too small: pointers are mid-flight, and
+    # the caller must be able to tell that apart from convergence
+    n = 64
+    chain = np.maximum(np.arange(n) - 1, 0)
+    ptrs, converged = jump_to_fixed_point(
+        chain, machine=machine, max_rounds=2, return_converged=True
+    )
+    assert converged is False
+    assert not (ptrs == 0).all()
+    full, converged_full = jump_to_fixed_point(chain, machine=machine, return_converged=True)
+    assert converged_full is True and (full == 0).all()

@@ -3,7 +3,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConcurrentReadError, ConcurrentWriteError
-from repro.pram import Machine, arbitrary_crcw, common_crcw, crew, erew
+from repro.pram import Machine, SparseTable, arbitrary_crcw, common_crcw, crew, erew
 from repro.pram.models import ArbitraryWinner
 
 
@@ -15,14 +15,25 @@ def test_alloc_charges_initialisation():
     assert m.work == 100 and m.time == 1
 
 
+def test_alloc_zero_fill_is_free():
+    # The documented (and paper-faithful) rule: memory is given zeroed, so
+    # only a non-trivial fill costs an initialisation step.
+    m = Machine.default()
+    arr = m.alloc(100)
+    assert len(arr) == 100 and (arr.data == 0).all()
+    assert m.work == 0 and m.time == 0
+    m.alloc(0, fill=5)  # empty allocations charge nothing either
+    assert m.work == 0 and m.time == 0
+
+
 def test_read_write_roundtrip_and_cost():
     m = Machine.default()
-    a = m.alloc(10)
+    a = m.alloc(10)  # zero fill: free
     m.write(a, np.arange(10), np.arange(10) * 2)
     got = m.read(a, np.array([3, 7]))
     assert got.tolist() == [6, 14]
-    assert m.time == 3  # alloc + write + read
-    assert m.work == 10 + 10 + 2
+    assert m.time == 2  # write + read
+    assert m.work == 10 + 2
 
 
 def test_erew_machine_detects_conflicting_writes():
@@ -200,3 +211,105 @@ def test_clone_for_shares_rng_stream():
     m = Machine(arbitrary_crcw(ArbitraryWinner.RANDOM), seed=42)
     clone = m.resolve(False)
     assert clone.rng is m.rng
+
+
+# ----------------------------------------------------------------------
+# fused pair combine (gather-map-scatter in one audited call)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("winner", list(ArbitraryWinner))
+@pytest.mark.parametrize("audit", [True, False])
+def test_combine_pairs_matches_write_then_read(winner, audit, rng=None):
+    import numpy as _np
+
+    generator = _np.random.default_rng(7)
+    keys_a = generator.integers(0, 12, 64)
+    keys_b = generator.integers(0, 9, 64)
+    values = generator.integers(0, 1000, 64)
+
+    unfused = Machine(arbitrary_crcw(winner), seed=3, audit=audit)
+    t_unfused = unfused.sparse_table()
+    unfused.concurrent_write_pairs(t_unfused, keys_a, keys_b, values)
+    expected = unfused.concurrent_read_pairs(t_unfused, keys_a, keys_b)
+
+    fused = Machine(arbitrary_crcw(winner), seed=3, audit=audit)
+    t_fused = fused.sparse_table()
+    got = fused.concurrent_combine_pairs(t_fused, keys_a, keys_b, values)
+
+    assert got.tolist() == expected.tolist()
+    # identical charging: two rounds, 2n work
+    assert (fused.time, fused.work) == (unfused.time, unfused.work) == (2, 128)
+    # the fused call persists the same cells for later reads
+    assert t_fused.num_cells_touched == t_unfused.num_cells_touched
+    later = fused.concurrent_read_pairs(t_fused, keys_a, keys_b)
+    assert later.tolist() == expected.tolist()
+
+
+def test_combine_pairs_empty_batch_charges_two_rounds():
+    m = Machine.default()
+    table = m.sparse_table()
+    out = m.concurrent_combine_pairs(
+        table, np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+        np.array([], dtype=np.int64),
+    )
+    assert len(out) == 0
+    assert m.time == 2 and m.work == 0
+
+
+def test_combine_pairs_validates_like_the_unfused_ops():
+    m = Machine(erew())
+    table = m.sparse_table()
+    with pytest.raises(ConcurrentWriteError):
+        m.concurrent_combine_pairs(
+            table, np.array([1, 1]), np.array([2, 2]), np.array([5, 6])
+        )
+    m2 = Machine.default()
+    with pytest.raises(ValueError, match="non-negative"):
+        m2.concurrent_combine_pairs(
+            m2.sparse_table(), np.array([-1]), np.array([0]), np.array([5])
+        )
+    with pytest.raises(ValueError, match="equal length"):
+        m2.concurrent_combine_pairs(
+            m2.sparse_table(), np.array([1]), np.array([0, 1]), np.array([5])
+        )
+
+
+def test_combine_pairs_common_crcw_checks_value_agreement():
+    from repro.errors import CommonWriteValueError
+    from repro.pram import common_crcw
+
+    m = Machine(common_crcw())
+    table = m.sparse_table()
+    # agreeing writers are fine
+    out = m.concurrent_combine_pairs(
+        table, np.array([1, 1]), np.array([2, 2]), np.array([5, 5])
+    )
+    assert out.tolist() == [5, 5]
+    with pytest.raises(CommonWriteValueError):
+        m.concurrent_combine_pairs(
+            table, np.array([3, 3]), np.array([2, 2]), np.array([5, 6])
+        )
+
+
+def test_sparse_table_commit_append_fast_path_matches_resort():
+    # doubling rounds write disjoint increasing key ranges (append path);
+    # interleaved overwrites must still fall back to the full merge
+    t = SparseTable("BB")
+    t.store(np.array([1, 2]), np.array([0, 1]), np.array([10, 20]))
+    assert t.load(np.array([1, 2]), np.array([0, 1])).tolist() == [10, 20]
+    t.store(np.array([5, 9]), np.array([0, 3]), np.array([50, 90]))  # append path
+    assert t.load(np.array([1, 2, 5, 9]), np.array([0, 1, 0, 3])).tolist() == [10, 20, 50, 90]
+    t.store(np.array([2, 9]), np.array([1, 3]), np.array([21, 91]))  # overwrite path
+    assert t.load(np.array([1, 2, 5, 9]), np.array([0, 1, 0, 3])).tolist() == [10, 21, 50, 91]
+    # span widening between commits keeps earlier keys addressable
+    t.store(np.array([1]), np.array([7]), np.array([17]))
+    assert t.load(np.array([1, 2, 9, 1]), np.array([0, 1, 3, 7])).tolist() == [10, 21, 91, 17]
+    assert t.num_cells_touched == 5
+
+
+def test_sparse_table_store_copy_false_takes_ownership():
+    t = SparseTable("BB")
+    ka = np.array([1, 2], dtype=np.int64)
+    kb = np.array([0, 0], dtype=np.int64)
+    vals = np.array([7, 8], dtype=np.int64)
+    t.store(ka, kb, vals, copy=False)
+    assert t.load(ka, kb).tolist() == [7, 8]

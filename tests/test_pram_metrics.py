@@ -117,3 +117,75 @@ def test_loglog_bound_growth_matches_formula():
     n = 2 ** 16
     expected = n * math.log2(math.log2(n))
     assert abs(loglog_work_bound(n) - expected) <= n  # within one linear term
+
+
+def test_charge_tree_closed_form_edge_cases():
+    for n in (0, 1):
+        c = CostCounter()
+        c.charge_tree(n)
+        assert (c.time, c.work) == (0, 0)
+    c = CostCounter()
+    c.charge_tree(2)
+    assert (c.time, c.work) == (1, 1)
+    c = CostCounter()
+    with pytest.raises(ValueError):
+        c.charge_tree(-1)
+
+
+def test_charge_rounds_closed_form():
+    c = CostCounter()
+    c.charge_rounds(10, 3)
+    assert (c.time, c.work) == (3, 30)
+    c.charge_rounds(5, 0)  # zero rounds: no-op
+    assert (c.time, c.work) == (3, 30)
+    with pytest.raises(ValueError):
+        c.charge_rounds(-1, 2)
+    with pytest.raises(ValueError):
+        c.charge_rounds(1, -2)
+
+
+def test_charge_helpers_respect_spans_and_budgets():
+    c = CostCounter(work_budget=5)
+    with c.span("phase"):
+        with pytest.raises(BudgetExceededError):
+            c.charge_tree(100)
+    assert c.span_cost("phase") == (7, 99)  # recorded before the raise
+
+
+def test_wall_profiling_aggregates_exclusive_span_seconds():
+    import time
+
+    from repro.pram.metrics import wall_profiling
+
+    with wall_profiling() as profile:
+        c = CostCounter()
+        with c.span("outer"):
+            c.tick(4)
+            time.sleep(0.01)
+            with c.span("inner"):
+                c.tick(6)
+                time.sleep(0.02)
+        # a second counter contributes to the same span paths
+        c2 = CostCounter()
+        with c2.span("outer"):
+            c2.tick(1)
+    spans = profile.spans
+    assert set(spans) == {"outer", "outer/inner"}
+    assert spans["outer"]["calls"] == 2
+    assert spans["outer"]["work"] == 5
+    assert spans["outer/inner"]["work"] == 6
+    # exclusive wall: the inner sleep must not be attributed to "outer"
+    assert spans["outer/inner"]["wall_seconds"] >= 0.015
+    assert spans["outer"]["wall_seconds"] < spans["outer/inner"]["wall_seconds"] + 0.02
+    rows = profile.rows(limit=1)
+    assert rows[0]["span"] == "outer/inner"
+
+
+def test_wall_profiling_is_off_by_default():
+    from repro.pram import metrics
+
+    assert metrics._active_wall_profiler is None
+    c = CostCounter()
+    with c.span("s"):
+        c.tick(1)
+    assert metrics._active_wall_profiler is None
