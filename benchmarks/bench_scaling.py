@@ -8,6 +8,10 @@ pipeline up to ``n = 2^20`` and records measured ``wall_seconds`` and
 Host-timing columns vary per machine; the charged totals are exact and
 must not move across perf PRs (CI's perf-smoke job enforces this for E1).
 """
+import json
+import pathlib
+import warnings
+
 import pytest
 
 from repro.bench import SweepConfig
@@ -15,6 +19,48 @@ from repro.partition import jaja_ryu_partition
 from repro.graphs.generators import random_function
 
 SWEEP = (16384, 65536, 262144, 1048576)
+
+#: Warn when a cell's ns/node exceeds the committed artifact's by this
+#: factor.  Wall-clock on shared hardware is noisy (PERFORMANCE.md observed
+#: ±2.5x across sessions) and the committed cell is a best-of-2 sample
+#: while this test measures each cell once (set BENCH_REPEAT to match),
+#: so this is a warn-level tripwire against the superlinear curve
+#: silently returning, not a hard gate.
+NS_PER_NODE_WARN_FACTOR = 2.5
+
+
+def _ns_per_node_trend_report(fresh_rows, report):
+    committed_path = pathlib.Path(__file__).resolve().parents[1] / "BENCH_SCALING.json"
+    if not committed_path.exists():
+        return
+    committed = json.loads(committed_path.read_text())
+    committed_ns = {
+        (row["algorithm"], row["n"]): row["ns_per_node"]
+        for cell in committed["cells"]
+        for row in cell["rows"]
+        if "ns_per_node" in row
+    }
+    lines = ["ns/node trend vs committed BENCH_SCALING.json:"]
+    for row in fresh_rows:
+        base = committed_ns.get((row["algorithm"], row["n"]))
+        if base is None:
+            continue
+        ratio = row["ns_per_node"] / base if base else float("inf")
+        lines.append(
+            f"  {row['algorithm']:>20} n={row['n']:>8}: "
+            f"{row['ns_per_node']:>8.1f} ns/node vs committed {base:>8.1f} "
+            f"({ratio:.2f}x)"
+        )
+        if ratio > NS_PER_NODE_WARN_FACTOR:
+            warnings.warn(
+                f"ns/node regression signal: {row['algorithm']} at n={row['n']} "
+                f"measured {row['ns_per_node']:.1f} ns/node vs committed "
+                f"{base:.1f} ({ratio:.2f}x > {NS_PER_NODE_WARN_FACTOR}x). "
+                "Wall-clock is noisy across sessions — but if this repeats on "
+                "quiet hardware, the flattened curve of PR 4 has regressed.",
+                stacklevel=2,
+            )
+    report.append("\n".join(lines))
 
 
 def test_generate_table_scaling(report, bench):
@@ -32,6 +78,9 @@ def test_generate_table_scaling(report, bench):
     assert last["charged/(n lg lg n)"] <= first["charged/(n lg lg n)"] * 1.25
     for row in ours:
         assert row["wall_seconds"] > 0 and row["charged_work"] > 0
+    # warn-level tripwire: the ns/node column this PR flattened must not
+    # silently drift back up relative to the committed artifact
+    _ns_per_node_trend_report(rows, report)
 
 
 @pytest.mark.benchmark(group="scaling-partition")

@@ -73,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
              "charged cost is unchanged)",
     )
     parser.add_argument(
+        "--kernel", default=None, metavar="NAME",
+        help="host sort kernel to realise integer sorts with (radix|argsort; "
+             "default: the process default, radix) — kernels change only "
+             "wall-clock, never results or charged totals, so this is the "
+             "A/B switch for perf work; the choice is deliberately NOT "
+             "recorded in cell fingerprints",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run every cell N times and keep the best wall-clock sample "
+             "(recorded in the artifact cells; charged totals are "
+             "deterministic and identical across repeats)",
+    )
+    parser.add_argument(
         "--out-dir", "-o", default=".",
         help="directory for BENCH_E*.json artifacts (default: current directory)",
     )
@@ -138,19 +152,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 audit=audit,
             )
         )
+    if args.repeat < 1:
+        print("error: --repeat must be a positive integer", file=sys.stderr)
+        return 2
+    from ..pram.kernels import available_sort_kernels, use_sort_kernel
+
+    if args.kernel is not None and args.kernel not in available_sort_kernels():
+        print(
+            f"error: unknown kernel {args.kernel!r}; choose from "
+            f"{available_sort_kernels()}",
+            file=sys.stderr,
+        )
+        return 2
     runner = BenchmarkRunner(
         out_dir=None if args.dry_run else args.out_dir,
         echo=echo,
+        repeat=args.repeat,
     )
-    if args.profile:
-        from ..pram.metrics import wall_profiling
+    from contextlib import nullcontext
 
-        with wall_profiling() as profile:
+    kernel_ctx = use_sort_kernel(args.kernel) if args.kernel is not None else nullcontext()
+    with kernel_ctx:
+        if args.kernel is not None and echo:
+            echo(f"[repro.bench] sort kernel: {args.kernel}")
+        if args.profile:
+            from ..pram.metrics import wall_profiling
+
+            with wall_profiling() as profile:
+                results = runner.run(configs)
+            profile_path = _emit_profile(profile, args, ids, echo)
+        else:
             results = runner.run(configs)
-        profile_path = _emit_profile(profile, args, ids, echo)
-    else:
-        results = runner.run(configs)
-        profile_path = None
+            profile_path = None
     written = [r.path for r in results.values() if r.path]
     if profile_path:
         written.append(profile_path)
@@ -174,6 +207,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"committed artifacts in {args.check_against!r}"
             )
     return 0
+
+
+def _default_kernel_name() -> str:
+    from ..pram.kernels import default_sort_kernel
+
+    return default_sort_kernel()
 
 
 def _emit_profile(profile, args, ids: List[str], echo) -> Optional[str]:
@@ -210,6 +249,7 @@ def _emit_profile(profile, args, ids: List[str], echo) -> Optional[str]:
                 "schema": "repro.bench.profile",
                 "schema_version": 1,
                 "experiments": list(ids),
+                "sort_kernel": args.kernel or _default_kernel_name(),
                 "spans": display,
             },
             fh,

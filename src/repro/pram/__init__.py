@@ -17,11 +17,21 @@ Quick tour
 (2, 16)
 """
 
+from .kernels import (
+    PAIR_PACK_MAX_RANGE,
+    available_sort_kernels,
+    cycle_min_labels,
+    default_sort_kernel,
+    set_default_sort_kernel,
+    sort_indices,
+    use_sort_kernel,
+)
 from .machine import Machine, resolve_machine
 from .memory import SharedArray, SparseTable
 from .metrics import (
     CostCounter,
     SpanWallProfile,
+    kernel_timing,
     log_time_bound,
     log_work_bound,
     loglog_work_bound,
@@ -82,4 +92,12 @@ __all__ = [
     "sort_time_bound_bhatt",
     "SpanWallProfile",
     "wall_profiling",
+    "kernel_timing",
+    "PAIR_PACK_MAX_RANGE",
+    "available_sort_kernels",
+    "cycle_min_labels",
+    "default_sort_kernel",
+    "set_default_sort_kernel",
+    "sort_indices",
+    "use_sort_kernel",
 ]

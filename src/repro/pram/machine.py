@@ -31,6 +31,7 @@ from typing import Iterator, Optional, Union
 
 import numpy as np
 
+from .kernels import grouped_sort, winner_positions
 from .memory import SharedArray, SparseTable
 from .metrics import CostCounter
 from .models import ArbitraryWinner, PramModel, arbitrary_crcw
@@ -65,13 +66,17 @@ def _as_index_array(indices) -> np.ndarray:
 _INT64_MAX = 2**63 - 1
 
 
-def _encode_pairs(ka: np.ndarray, kb: np.ndarray) -> "tuple[np.ndarray, int]":
+def _encode_pairs(ka: np.ndarray, kb: np.ndarray) -> "tuple[np.ndarray, int, int]":
     """Flatten pair addresses ``(ka, kb)`` into ``ka * span + kb``.
 
     Validates that the keys are non-negative and that the flat encoding
     fits in int64 — silent wrap-around would alias distinct ``BB``-table
     cells and corrupt the arbitrary-CRCW winner resolution.  The check is
     done in Python integers, which do not overflow.
+
+    Returns ``(flat, span, key_bound)``; ``key_bound`` is an exclusive
+    upper bound on the flat keys, handed to the radix sort kernel so the
+    grouping sorts below run in O(n).
     """
     ka_max = int(ka.max())
     kb_min = int(kb.min())
@@ -88,7 +93,7 @@ def _encode_pairs(ka: np.ndarray, kb: np.ndarray) -> "tuple[np.ndarray, int]":
             f"span={span} needs {ka_max * span + span - 1} > 2**63-1; "
             "re-rank the keys into a denser range first"
         )
-    return ka * span + kb, span
+    return ka * span + kb, span, ka_max * span + span
 
 
 class Machine:
@@ -107,6 +112,15 @@ class Machine:
         When ``False`` conflict checking is skipped (cost is still
         charged).  Auditing costs extra Python/NumPy time; benchmarks that
         only need counts may disable it, correctness tests keep it on.
+    sort_kernel:
+        Name of the host sort kernel (see :mod:`repro.pram.kernels`) the
+        integer-sort primitives and this machine's bulk-step grouping
+        sorts realise their permutations with.  ``None`` (the default)
+        resolves to the process default at each call, so benchmarks can
+        A/B kernels globally (``--kernel``).  An explicit name pins the
+        machine's own sorts; the audited write resolution inside
+        :mod:`repro.pram.models` always follows the process default.
+        Kernels never change results or charged cost — only wall-clock.
     """
 
     def __init__(
@@ -116,11 +130,13 @@ class Machine:
         counter: Optional[CostCounter] = None,
         seed: int = 0,
         audit: bool = True,
+        sort_kernel: Optional[str] = None,
     ) -> None:
         self.model = model if model is not None else arbitrary_crcw()
         self.counter = counter if counter is not None else CostCounter()
         self.rng = np.random.default_rng(seed)
         self.audit = audit
+        self.sort_kernel = sort_kernel
 
     # ------------------------------------------------------------------
     # constructors / conveniences
@@ -146,6 +162,7 @@ class Machine:
             model,
             counter=self.counter,
             audit=self.audit if audit is None else audit,
+            sort_kernel=self.sort_kernel,
         )
         clone.rng = self.rng
         return clone
@@ -156,6 +173,7 @@ class Machine:
             self.model.with_winner(winner),
             counter=self.counter,
             audit=self.audit,
+            sort_kernel=self.sort_kernel,
         )
 
     # ------------------------------------------------------------------
@@ -306,16 +324,19 @@ class Machine:
             self.counter.tick(len(ka))
         if len(ka) == 0:
             return
-        flat, span = _encode_pairs(ka, kb)
+        flat, span, key_bound = _encode_pairs(ka, kb)
         winner = self.model.write.winner
-        if not self.audit and winner is ArbitraryWinner.FIRST:
+        if not self.audit and winner in (ArbitraryWinner.FIRST, ArbitraryWinner.LAST):
             # Unaudited fast path: skip the model's conflict validation;
-            # np.unique's first-occurrence index IS the FIRST-winner policy.
-            uniq, first = np.unique(flat, return_index=True)
-            winners = vals[first]
-        elif not self.audit and winner is ArbitraryWinner.LAST:
-            rev_uniq, rev_first = np.unique(flat[::-1], return_index=True)
-            uniq, winners = rev_uniq, vals[::-1][rev_first]
+            # the stable grouping sort makes winner selection positional.
+            order, sorted_flat, starts, _ = grouped_sort(
+                flat, key_bound, kernel=self.sort_kernel
+            )
+            uniq = sorted_flat[starts]
+            survivors = winner_positions(
+                starts, len(flat), first=winner is ArbitraryWinner.FIRST
+            )
+            winners = vals[order[survivors]]
         else:
             # Audited, or RANDOM winner (which needs grouped resolution —
             # the fast path must not change winner semantics, only skip
@@ -338,7 +359,7 @@ class Machine:
         if charge:
             self.counter.tick(len(ka))
         if self.audit and not self.model.read.allow_concurrent and len(ka) > 1:
-            flat, _span = _encode_pairs(ka, kb)
+            flat, _span, _bound = _encode_pairs(ka, kb)
             self.model.read.check(flat)
         return table.load(ka, kb, default=default)
 
@@ -375,7 +396,7 @@ class Machine:
             self.counter.tick(2 * len(ka), rounds=2)
         if len(ka) == 0:
             return np.empty(0, dtype=np.int64)
-        flat, span = _encode_pairs(ka, kb)
+        flat, span, key_bound = _encode_pairs(ka, kb)
         winner = self.model.write.winner
         needs_resolve = winner is ArbitraryWinner.RANDOM or (
             self.audit
@@ -395,14 +416,17 @@ class Machine:
         else:
             if self.audit and not self.model.read.allow_concurrent and len(ka) > 1:
                 self.model.read.check(flat)
-            uniq, inverse = np.unique(flat, return_inverse=True)
-            winners = np.empty(len(uniq), dtype=np.int64)
-            if winner is ArbitraryWinner.FIRST:
-                # reverse scatter: the last assignment per cell is the
-                # first (lowest-index) writer
-                winners[inverse[::-1]] = vals[::-1]
-            else:  # LAST
-                winners[inverse] = vals
+            order, sorted_flat, starts, is_first = grouped_sort(
+                flat, key_bound, kernel=self.sort_kernel
+            )
+            uniq = sorted_flat[starts]
+            survivors = winner_positions(
+                starts, len(flat), first=winner is ArbitraryWinner.FIRST
+            )
+            winners = vals[order[survivors]]
+            group_of_sorted = np.cumsum(is_first) - 1
+            inverse = np.empty(len(flat), dtype=np.int64)
+            inverse[order] = group_of_sorted
             out = winners[inverse]
         table.store(uniq // span, uniq % span, winners, copy=False)
         return out

@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..types import as_int_array
+from .kernels import sort_indices
 
 
 class SharedArray:
@@ -138,14 +139,16 @@ class SparseTable:
             self._flat = (self._flat // self._span) * span + (self._flat % self._span)
         self._span = span
         self._max_a = max_a
+        key_bound = max_a * span + span if max_a >= 0 else 1
         flats = [ka * span + kb for ka, kb, _ in self._pending]
         vals = [v for _, _, v in self._pending]
         self._pending.clear()
         new_flat = np.concatenate(flats) if len(flats) > 1 else flats[0]
         new_vals = np.concatenate(vals) if len(vals) > 1 else vals[0]
-        # Stable sort keeps insertion order within equal keys; the last
-        # occurrence of a key is therefore the latest store — it wins.
-        order = np.argsort(new_flat, kind="stable")
+        # Stable sort (via the O(n) radix kernel — the key bound is known)
+        # keeps insertion order within equal keys; the last occurrence of a
+        # key is therefore the latest store — it wins.
+        order = sort_indices(new_flat, key_bound)
         sf, sv = new_flat[order], new_vals[order]
         keep = np.append(sf[1:] != sf[:-1], True)
         sf, sv = sf[keep], sv[keep]
@@ -160,7 +163,7 @@ class SparseTable:
         else:
             all_flat = np.concatenate([self._flat, sf])
             all_vals = np.concatenate([self._vals, sv])
-            order = np.argsort(all_flat, kind="stable")
+            order = sort_indices(all_flat, key_bound)
             af, av = all_flat[order], all_vals[order]
             keep = np.append(af[1:] != af[:-1], True)
             self._flat, self._vals = af[keep], av[keep]

@@ -52,6 +52,25 @@ class SpanRecord:
     ticks: int = 0
 
 
+@dataclass
+class CapturedCost:
+    """Cost charged inside one :meth:`CostCounter.capture` block.
+
+    Holds the time/work/charged deltas plus the per-span-path deltas, so
+    :meth:`CostCounter.replay` can re-apply the block's exact accounting
+    without re-executing the computation.  ``span_path`` records the span
+    stack the capture happened under; a replay under a different stack
+    would mis-attribute the span deltas, so callers must check it (see
+    :func:`repro.primitives.euler_tour._tour_layout`).
+    """
+
+    span_path: str = ""
+    time: int = 0
+    work: int = 0
+    charged_extra: int = 0
+    spans: List[Tuple[str, int, int, int, int]] = field(default_factory=list)
+
+
 class SpanWallProfile:
     """Per-span wall-clock aggregated next to the charged PRAM cost.
 
@@ -99,6 +118,26 @@ class SpanWallProfile:
             agg["charged_work"] += rec.charged_work - charged0  # type: ignore[operator]
             agg["calls"] += 1  # type: ignore[operator]
 
+    def _absorb_replayed(self, captured: "CapturedCost", open_paths: set) -> None:
+        """Credit a replayed capture's charged deltas to the span rows.
+
+        Replays (see :meth:`CostCounter.replay`) charge span records
+        without the spans ever entering or exiting; the closed paths'
+        deltas are folded in here with zero wall seconds so the profile's
+        charged columns keep reconciling with the counter's totals.
+        """
+        with self._lock:
+            for path, rounds, work, charged, _ticks in captured.spans:
+                if path in open_paths:
+                    continue  # flows through that span's own exit diff
+                agg = self.spans.setdefault(
+                    path,
+                    {"wall_seconds": 0.0, "time": 0, "work": 0, "charged_work": 0, "calls": 0},
+                )
+                agg["time"] += rounds  # type: ignore[operator]
+                agg["work"] += work  # type: ignore[operator]
+                agg["charged_work"] += charged  # type: ignore[operator]
+
     def rows(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
         """Span rows sorted by exclusive wall seconds, heaviest first."""
         out = [
@@ -112,6 +151,31 @@ class SpanWallProfile:
 
 #: The profiler the next `CostCounter.span` reports to (``None`` = off).
 _active_wall_profiler: Optional[SpanWallProfile] = None
+
+
+@contextmanager
+def kernel_timing(kernel: str) -> Iterator[None]:
+    """Attribute the block's wall seconds to a ``[kernel] <name>`` row.
+
+    Used by :mod:`repro.pram.kernels` so profiled runs show where time
+    goes *per host kernel* next to the per-span rows.  The row behaves
+    like a child span of whatever span is open on this thread (its
+    seconds are excluded from the enclosing span's exclusive time), but
+    charges nothing — kernels run under the cost adapter, so their
+    charged columns are always zero.  Zero overhead when profiling is
+    off.
+    """
+    profiler = _active_wall_profiler
+    if profiler is None:
+        yield
+        return
+    path = f"[kernel] {kernel}"
+    record = SpanRecord(path)
+    profiler._enter(path, record)
+    try:
+        yield
+    finally:
+        profiler._exit(path, record)
 
 
 @contextmanager
@@ -279,6 +343,60 @@ class CostCounter:
         self._work += extra_work
         self._charged_extra += extra_charged - extra_work
         self._record_span(extra_time, extra_work, extra_charged)
+        self._check_budget()
+
+    @contextmanager
+    def capture(self) -> Iterator[CapturedCost]:
+        """Record every charge made inside the block for later :meth:`replay`.
+
+        Deterministic sub-computations that are executed once but *charged*
+        every time they are (logically) repeated — e.g. the tour layout
+        shared by the two weighted-level passes of tree labeling — capture
+        their accounting on first execution and replay it on reuse, so the
+        counters, span records and adapter figures stay byte-identical to
+        actually re-running the computation.
+        """
+        captured = CapturedCost(span_path="/".join(self._span_stack))
+        time0, work0, charged0 = self._time, self._work, self._charged_extra
+        spans0 = {
+            path: (rec.time, rec.work, rec.charged_work, rec.ticks)
+            for path, rec in self._spans.items()
+        }
+        try:
+            yield captured
+        finally:
+            captured.time = self._time - time0
+            captured.work = self._work - work0
+            captured.charged_extra = self._charged_extra - charged0
+            for path, rec in self._spans.items():
+                t0, w0, c0, k0 = spans0.get(path, (0, 0, 0, 0))
+                delta = (rec.time - t0, rec.work - w0, rec.charged_work - c0, rec.ticks - k0)
+                if any(delta):
+                    captured.spans.append((path, *delta))
+
+    def replay(self, captured: CapturedCost) -> None:
+        """Re-apply a :meth:`capture` block's accounting without re-executing it."""
+        self._time += captured.time
+        self._work += captured.work
+        self._charged_extra += captured.charged_extra
+        for path, rounds, work, charged, ticks in captured.spans:
+            rec = self._spans.setdefault(path, SpanRecord(path))
+            rec.time += rounds
+            rec.work += work
+            rec.charged_work += charged
+            rec.ticks += ticks
+        profiler = _active_wall_profiler
+        if profiler is not None:
+            # Keep the wall profile's charged columns reconciled with the
+            # counter: replayed child spans never enter/exit, so their
+            # deltas are absorbed directly (zero wall — nothing ran).
+            # Deltas at currently-open paths flow through those spans'
+            # ordinary exit diffs and must not be double-counted here.
+            open_paths = {
+                "/".join(self._span_stack[: depth + 1])
+                for depth in range(len(self._span_stack))
+            }
+            profiler._absorb_replayed(captured, open_paths)
         self._check_budget()
 
     def _record_span(self, rounds: int, work: int, charged: int) -> None:

@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import CommonWriteValueError, ConcurrentReadError, ConcurrentWriteError
+from .kernels import grouped_sort, winner_positions
 
 
 class ArbitraryWinner(enum.Enum):
@@ -42,16 +43,12 @@ def _group_duplicates(addresses: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np
 
     ``order`` is a stable argsort of ``addresses``; ``starts`` gives, for
     each unique address, the offset of its first occurrence in the sorted
-    order.  Helper shared by the read/write policies below.
+    order.  Helper shared by the read/write policies below.  Runs on every
+    audited write, so the grouping sort goes through the O(n) radix kernel
+    (addresses are non-negative cell indices or flat pair keys; anything
+    else falls back to a plain stable argsort).
     """
-    order = np.argsort(addresses, kind="stable")
-    sorted_addr = addresses[order]
-    if len(sorted_addr) == 0:
-        return order, sorted_addr, np.zeros(0, dtype=np.int64)
-    is_first = np.empty(len(sorted_addr), dtype=bool)
-    is_first[0] = True
-    np.not_equal(sorted_addr[1:], sorted_addr[:-1], out=is_first[1:])
-    starts = np.flatnonzero(is_first)
+    order, sorted_addr, starts, _ = grouped_sort(addresses)
     return order, sorted_addr[starts], starts
 
 
@@ -132,13 +129,15 @@ class WritePolicy:
                     "the common-CRCW model",
                     addresses=mism.tolist(),
                 )
-        if self.winner is ArbitraryWinner.FIRST:
-            # lowest processor index: stable sort keeps processor order within
-            # each address group, so the group's first entry is the winner.
-            winners = sorted_values[starts]
-        elif self.winner is ArbitraryWinner.LAST:
-            ends = np.append(starts[1:], len(addresses)) - 1
-            winners = sorted_values[ends]
+        if self.winner in (ArbitraryWinner.FIRST, ArbitraryWinner.LAST):
+            # stable sort keeps processor order within each address group,
+            # so winner selection is positional (shared with the unaudited
+            # bulk-step fast paths, which must agree with this policy)
+            winners = sorted_values[
+                winner_positions(
+                    starts, len(addresses), first=self.winner is ArbitraryWinner.FIRST
+                )
+            ]
         else:  # RANDOM
             if rng is None:
                 rng = np.random.default_rng(0)

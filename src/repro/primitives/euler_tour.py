@@ -28,6 +28,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..pram.kernels import cycle_min_labels
 from ..pram.machine import Machine
 from ..types import as_int_array
 from .integer_sort import SortCostModel, sort_pairs
@@ -150,14 +151,60 @@ def build_euler_structure(
 def _circuit_ids(successor: np.ndarray, machine: Machine) -> np.ndarray:
     """Label each arc with the minimum arc index on its circuit.
 
-    Realised as pointer doubling carrying a running minimum (``O(log n)``
-    rounds, ``O(n log n)`` incurred operations).  The paper's Section 5
-    charges this step at the cost of optimal list ranking ("all the steps
-    of the algorithm can be implemented using essentially the list ranking
-    algorithm", i.e. ``O(n)`` work); the gap is recorded through the cost
-    adapter so both figures appear in the accounting (see DESIGN.md §2 and
-    experiment E9).
+    The *charged* figures replicate pointer doubling carrying a running
+    minimum (``O(log n)`` rounds, ``O(n log n)`` incurred operations; the
+    executable spec is :func:`_circuit_ids_reference`): the number of
+    doubling rounds that loop performs is a closed-form function of the
+    circuit lengths — see :func:`_reference_doubling_rounds` — so the
+    adapter charge is emitted without running it.  The *host* labels come
+    from :func:`repro.pram.kernels.cycle_min_labels`, which contracts
+    resolved arcs out of the doubling set (O(n) host operations) instead
+    of re-gathering all ``n`` every round.  The paper's Section 5 charges
+    this step at the cost of optimal list ranking ("all the steps of the
+    algorithm can be implemented using essentially the list ranking
+    algorithm", i.e. ``O(n)`` work); the incurred/charged gap is recorded
+    through the cost adapter so both figures appear in the accounting
+    (see DESIGN.md §2 and experiment E9).
     """
+    n = len(successor)
+    label = cycle_min_labels(successor)
+    performed = _reference_doubling_rounds(label, n)
+    machine.counter.charge_adapter(
+        incurred_work=n * performed,
+        incurred_rounds=performed,
+        charged_work=2 * n,
+        charged_rounds=max(1, int(np.ceil(np.log2(max(2, n))))),
+        label="circuit_ids",
+    )
+    return label
+
+
+def _reference_doubling_rounds(label: np.ndarray, n: int) -> int:
+    """Rounds the reference doubling loop performs, from the circuit sizes.
+
+    :func:`_circuit_ids_reference` exits early only when its label pass
+    has stabilised (first round ``t`` with window ``2^(t-1) >= L`` for
+    every circuit length ``L``) *and* pointer doubling has reached a
+    fixed point (``succ^(2^t) == succ^(2^(t-1))``, i.e. every ``L``
+    divides ``2^(t-1)`` — which happens iff every circuit length is a
+    power of two).  Both conditions first hold at ``log2(Lmax) + 1`` in
+    the power-of-two case; otherwise the loop runs its full
+    ``ceil(log2(max(2, n))) + 1`` budget.  Parity with the executed loop
+    is pinned by the kernel fuzz suite.
+    """
+    if n == 0:
+        return 1
+    counts = np.bincount(label)
+    sizes = counts[counts > 0]
+    if bool(np.all((sizes & (sizes - 1)) == 0)):
+        return int(sizes.max()).bit_length()
+    return int(np.ceil(np.log2(max(2, n)))) + 1
+
+
+def _circuit_ids_reference(successor: np.ndarray, machine: Machine) -> np.ndarray:
+    """Pre-PR 4 realisation of :func:`_circuit_ids`, kept as the executable
+    spec of the charged figures (the fuzz suite pins the fast path's labels
+    and accounting against it)."""
     n = len(successor)
     ptr = successor.copy()
     label = np.arange(n, dtype=np.int64)
@@ -319,6 +366,67 @@ def tour_positions(
     return position, circuit_length
 
 
+def _tour_layout(
+    structure: EulerStructure,
+    root_mask: np.ndarray,
+    machine: Machine,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Tour-order slot of every arc plus the circuit segment heads.
+
+    Weight-independent part of :func:`_levels_from_tour`: the start arcs,
+    the list ranking and the contiguous circuit layout depend only on the
+    structure and the root mask, so when two weighted-level passes share
+    one structure (tree labeling steps 1 and 3) the layout is computed
+    once and its exact accounting — captured via
+    :meth:`~repro.pram.metrics.CostCounter.capture` — is replayed on
+    reuse.  The charged totals are byte-identical to re-running the
+    layout; only the host work disappears.
+    """
+    counter = machine.counter
+    span_path = "/".join(counter._span_stack)
+    cached = getattr(structure, "_tour_layout_cache", None)
+    if cached is not None:
+        slot, seg_heads, cached_mask, captured = cached
+        if captured.span_path == span_path and np.array_equal(cached_mask, root_mask):
+            counter.replay(captured)
+            return slot, seg_heads
+    n_arcs = structure.num_arcs
+    circuit = structure.circuit_id
+    with counter.capture() as captured:
+        # Start arc of each circuit: the minimum arc index whose tail is a
+        # root.  (Every circuit of a rooted tree's doubled graph contains
+        # the root's outgoing arcs, so such an arc exists whenever the tree
+        # has any edge.)
+        machine.tick(n_arcs, rounds=2)
+        candidate = np.where(
+            root_mask[structure.tail], np.arange(n_arcs, dtype=np.int64), n_arcs
+        )
+        best = np.full(n_arcs, n_arcs, dtype=np.int64)
+        np.minimum.at(best, circuit, candidate)
+        start_of_circuit = best[circuit]
+        start_mask = np.arange(n_arcs, dtype=np.int64) == start_of_circuit
+
+        position, _length = tour_positions(structure, start_mask, machine=machine)
+
+        # Lay the circuits out contiguously: offset per circuit via a
+        # scatter of circuit sizes (indexed by circuit_id, which is an arc
+        # index) and an exclusive prefix sum.
+        machine.tick(n_arcs, rounds=2)
+        sizes = np.zeros(n_arcs, dtype=np.int64)
+        starts = np.flatnonzero(start_mask)
+        sizes[circuit[starts]] = _length[starts]
+        offsets = prefix_sums(sizes, machine=machine, inclusive=False)
+        slot = offsets[circuit] + position
+        seg_heads = np.zeros(n_arcs, dtype=bool)
+        if n_arcs:
+            seg_heads[0] = True
+            seg_heads[offsets[circuit[starts]]] = True
+    # copy the mask: caching the caller's array by reference would make the
+    # staleness check compare a mutated mask against itself
+    structure._tour_layout_cache = (slot, seg_heads, root_mask.copy(), captured)
+    return slot, seg_heads
+
+
 def _levels_from_tour(
     structure: EulerStructure,
     weight: np.ndarray,
@@ -329,41 +437,18 @@ def _levels_from_tour(
 
     The inclusive prefix value at the (unique) parent->child arc entering a
     vertex is that vertex's depth.  All steps are O(1) linear-work rounds
-    apart from one list ranking and one segmented scan.
+    apart from one list ranking and one segmented scan (and the list
+    ranking runs — and charges — once per structure, see :func:`_tour_layout`).
     """
     n_arcs = structure.num_arcs
-    circuit = structure.circuit_id
     n_edges = n_arcs // 2
 
-    # Start arc of each circuit: the minimum arc index whose tail is a root.
-    # (Every circuit of a rooted tree's doubled graph contains the root's
-    # outgoing arcs, so such an arc exists whenever the tree has any edge.)
-    machine.tick(n_arcs, rounds=2)
-    candidate = np.where(root_mask[structure.tail], np.arange(n_arcs, dtype=np.int64), n_arcs)
-    best = np.full(n_arcs, n_arcs, dtype=np.int64)
-    np.minimum.at(best, circuit, candidate)
-    start_of_circuit = best[circuit]
-    start_mask = np.arange(n_arcs, dtype=np.int64) == start_of_circuit
-
-    position, _length = tour_positions(structure, start_mask, machine=machine)
-
-    # Lay the circuits out contiguously: offset per circuit via a scatter of
-    # circuit sizes (indexed by circuit_id, which is an arc index) and an
-    # exclusive prefix sum.
-    machine.tick(n_arcs, rounds=2)
-    sizes = np.zeros(n_arcs, dtype=np.int64)
-    starts = np.flatnonzero(start_mask)
-    sizes[circuit[starts]] = _length[starts]
-    offsets = prefix_sums(sizes, machine=machine, inclusive=False)
-    slot = offsets[circuit] + position
+    slot, seg_heads = _tour_layout(structure, root_mask, machine)
 
     # Scatter weights into tour order and scan within each circuit.
     machine.tick(n_arcs, rounds=2)
     laid_weight = np.zeros(n_arcs, dtype=np.int64)
     laid_weight[slot] = weight
-    seg_heads = np.zeros(n_arcs, dtype=bool)
-    seg_heads[0] = True
-    seg_heads[offsets[circuit[starts]]] = True
     from .prefix_sums import segmented_prefix_sums  # local import avoids a cycle at load time
 
     depth_in_order = segmented_prefix_sums(laid_weight, seg_heads, machine=machine)

@@ -31,6 +31,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..pram.kernels import PAIR_PACK_MAX_RANGE, sort_indices
 from ..pram.machine import Machine
 from ..pram.metrics import loglog_work_bound, sort_time_bound_bhatt
 from ..types import as_int_array
@@ -82,7 +83,6 @@ def sort_by_keys(
     machine: Optional[Machine] = None,
     key_range: Optional[int] = None,
     cost_model: SortCostModel = SortCostModel.CHARGED,
-    stable: bool = True,
 ) -> np.ndarray:
     """Return the permutation that stably sorts ``keys`` (single key per item).
 
@@ -108,16 +108,17 @@ def sort_by_keys(
 
     # Radix decomposition in base max(2, n): the paper's ranges are always
     # polynomial in n, so the number of passes is a small constant.  The
-    # composition of the stable base-n counting-sort passes is a stable
-    # sort by the full key, so a single stable argsort realises the same
-    # permutation; the charging keeps the per-pass schedule's arithmetic.
-    _passes, incurred_rounds, incurred_work = _radix_pass_plan(n, rng)
-    order = np.argsort(k, kind="stable").astype(np.int64, copy=False)
+    # charging keeps the per-pass schedule's arithmetic; the host
+    # permutation comes from the machine's sort kernel (every kernel
+    # realises the same stability-unique result — see repro.pram.kernels).
+    order = sort_indices(k, rng, kernel=m.sort_kernel)
+    _charge_integer_sort(m, n, rng, cost_model)
+    return order
 
-    if not stable:
-        # Nothing extra to do: the stable result is also a valid unstable one.
-        pass
 
+def _charge_integer_sort(m: Machine, n: int, key_range: int, cost_model: SortCostModel) -> None:
+    """Charge one adapter-priced integer sort of ``n`` keys below ``key_range``."""
+    _passes, incurred_rounds, incurred_work = _radix_pass_plan(n, key_range)
     if cost_model is SortCostModel.CHARGED:
         m.counter.charge_adapter(
             incurred_work=incurred_work,
@@ -129,7 +130,6 @@ def sort_by_keys(
     else:
         with m.span("integer_sort"):
             m.tick(incurred_work, rounds=incurred_rounds)
-    return order
 
 
 def sort_pairs(
@@ -161,19 +161,29 @@ def sort_pairs(
     rng = int(key_range) if key_range is not None else int(max(a.max(), b.max())) + 1
     if max(int(a.max()), int(b.max())) >= rng:
         raise ValueError("pair components exceed the declared key_range")
-    if rng <= (1 << 31):
-        # Lexicographic order == order of the combined key first * rng + second,
-        # which stays within range rng^2 (polynomial), exactly the situation
-        # the Bhatt et al. routine is designed for.
+    if rng <= PAIR_PACK_MAX_RANGE:
+        # Fused path: lexicographic order == order of the packed key
+        # first * rng + second, which stays within range rng^2 <= 2^63 - 1
+        # (polynomial), exactly the situation the Bhatt et al. routine is
+        # designed for — one sort and one gather instead of two of each.
+        if n > 1 and bool(np.all(b[1:] > b[:-1])):
+            # ``second`` strictly increases along the input, so ties in
+            # ``first`` already break in input order: the pair order is the
+            # stable sort of ``first`` alone.  The Euler-structure build
+            # (second = arange) hits this every time.  Host-only shortcut —
+            # the charge is the packed sort's, figure for figure.
+            order = sort_indices(a, rng, kernel=m.sort_kernel)
+            _charge_integer_sort(m, n, rng * rng, cost_model)
+            return order
         combined = a * rng + b
         return sort_by_keys(
-            combined, machine=m, key_range=rng * rng, cost_model=cost_model, stable=True
+            combined, machine=m, key_range=rng * rng, cost_model=cost_model
         )
-    # For very large code ranges the combined key would overflow int64; run
+    # Beyond PAIR_PACK_MAX_RANGE the packed key would overflow int64; run
     # the pair sort as two stable passes (least-significant component first),
     # which is the same LSD radix idea with the same asymptotic cost.
-    perm_b = sort_by_keys(b, machine=m, key_range=rng, cost_model=cost_model, stable=True)
-    perm_a = sort_by_keys(a[perm_b], machine=m, key_range=rng, cost_model=cost_model, stable=True)
+    perm_b = sort_by_keys(b, machine=m, key_range=rng, cost_model=cost_model)
+    perm_a = sort_by_keys(a[perm_b], machine=m, key_range=rng, cost_model=cost_model)
     return perm_b[perm_a]
 
 

@@ -71,15 +71,37 @@ def _compare_seq(a: np.ndarray, b: np.ndarray) -> int:
 def _ranks_from_order(
     arrays: List[np.ndarray], order: np.ndarray, machine: Machine
 ) -> np.ndarray:
-    """Dense ranks given a sorted order: adjacent-equality scan, O(n) work."""
+    """Dense ranks given a sorted order: adjacent-equality scan, O(n) work.
+
+    The adjacent comparisons are vectorised over the flat symbol array
+    (candidate pairs are the equal-length neighbours; their symbols are
+    gathered side by side and reduced per segment), so the host cost is
+    O(total length) instead of one Python comparison per string.
+    """
     m = len(order)
     ranks = np.zeros(m, dtype=np.int64)
     if m == 0:
         return ranks
     machine.tick(sum(len(a) for a in arrays) + m)
-    increments = np.zeros(m, dtype=np.int64)
-    for k in range(1, m):
-        increments[k] = 0 if _compare_seq(arrays[order[k - 1]], arrays[order[k]]) == 0 else 1
+    flat, offsets = concatenate_with_offsets(arrays)
+    lengths = np.diff(offsets)
+    so = np.asarray(order, dtype=np.int64)
+    sorted_lengths = lengths[so]
+    differs = np.ones(m, dtype=bool)
+    # neighbours of unequal length always differ; equal-length pairs of
+    # length zero are equal; the rest need a symbol-wise check
+    differs[1:] = sorted_lengths[1:] != sorted_lengths[:-1]
+    candidates = np.flatnonzero(~differs[1:] & (sorted_lengths[1:] > 0)) + 1
+    if len(candidates):
+        pair_len = sorted_lengths[candidates]
+        seg_starts = np.concatenate(([0], np.cumsum(pair_len[:-1])))
+        pos = np.arange(int(pair_len.sum()), dtype=np.int64) - np.repeat(seg_starts, pair_len)
+        left = np.repeat(offsets[so[candidates - 1]], pair_len) + pos
+        right = np.repeat(offsets[so[candidates]], pair_len) + pos
+        symbol_equal = flat[left] == flat[right]
+        differs[candidates] = ~np.logical_and.reduceat(symbol_equal, seg_starts)
+    increments = differs.astype(np.int64)
+    increments[0] = 0
     dense_sorted = np.cumsum(increments)
     ranks[order] = dense_sorted
     return ranks

@@ -254,3 +254,68 @@ def test_compare_charged_totals_matches_rows_by_identity():
         {"experiment": "e1", "cells": []}, {"experiment": "e2", "cells": []}
     )
     assert "experiment mismatch" in mismatch[0]
+
+
+# ----------------------------------------------------------------------
+# --repeat (best-of-N wall clock) and --kernel (host sort kernel A/B)
+# ----------------------------------------------------------------------
+def test_runner_repeat_records_count_and_keeps_charged_totals(tmp_path):
+    config = SweepConfig("e1", sizes=(64,), workload="mixed")
+    once = BenchmarkRunner().run_cell(config)
+    thrice = BenchmarkRunner(repeat=3).run_cell(config)
+    assert once.repeat == 1 and once.as_dict()["repeat"] == 1
+    assert thrice.repeat == 3 and thrice.as_dict()["repeat"] == 3
+    # charged totals are deterministic — repeats change only wall-clock
+    def totals(cell):
+        return [(r["algorithm"], r["time"], r["work"], r["charged_work"]) for r in cell.rows]
+
+    assert totals(once) == totals(thrice)
+    assert thrice.fingerprint == once.fingerprint
+
+
+def test_runner_rejects_nonpositive_repeat():
+    with pytest.raises(ValueError):
+        BenchmarkRunner(repeat=0)
+
+
+def test_cli_repeat_is_recorded_in_artifact_cells(tmp_path):
+    rc = bench_main(["-e", "e1", "-n", "64", "--repeat", "2", "-o", str(tmp_path), "-q"])
+    assert rc == 0
+    document = load_artifact(str(tmp_path / "BENCH_E1.json"))
+    assert document["cells"][0]["repeat"] == 2
+
+
+def test_cli_kernel_flag_switches_default_without_touching_fingerprints(tmp_path):
+    from repro.pram.kernels import default_sort_kernel
+
+    before = default_sort_kernel()
+    rc = bench_main(["-e", "e1", "-n", "64", "--kernel", "argsort", "-o", str(tmp_path), "-q"])
+    assert rc == 0
+    assert default_sort_kernel() == before  # restored after the run
+    with_argsort = load_artifact(str(tmp_path / "BENCH_E1.json"))
+    rc = bench_main(["-e", "e1", "-n", "64", "-o", str(tmp_path), "-q"])
+    assert rc == 0
+    default_run = load_artifact(str(tmp_path / "BENCH_E1.json"))
+    # the kernel is a host-realisation choice: fingerprints and totals match
+    assert with_argsort["cells"][0]["fingerprint"] == default_run["cells"][0]["fingerprint"]
+    assert with_argsort["totals"]["time"] == default_run["totals"]["time"]
+    assert with_argsort["totals"]["work"] == default_run["totals"]["work"]
+    assert with_argsort["totals"]["charged_work"] == default_run["totals"]["charged_work"]
+
+
+def test_cli_rejects_unknown_kernel(tmp_path, capsys):
+    rc = bench_main(["-e", "e1", "-n", "64", "--kernel", "bogus", "-o", str(tmp_path), "-q"])
+    assert rc == 2
+    assert "unknown kernel" in capsys.readouterr().err
+
+
+def test_cli_profile_reports_per_kernel_rows(tmp_path):
+    rc = bench_main(["-e", "e1", "-n", "256", "--profile", "-o", str(tmp_path), "-q"])
+    assert rc == 0
+    document = json.loads((tmp_path / "BENCH_PROFILE.json").read_text())
+    assert document["sort_kernel"] == "radix"
+    span_names = [row["span"] for row in document["spans"]]
+    assert any(name.startswith("[kernel] ") for name in span_names)
+    kernel_rows = [row for row in document["spans"] if row["span"].startswith("[kernel] ")]
+    # kernels run under the cost adapter: wall seconds, but zero charged cost
+    assert all(row["work"] == 0 and row["charged_work"] == 0 for row in kernel_rows)
