@@ -73,10 +73,10 @@ def __getattr__(name):
     # Lazy re-export: the serving stack (asyncio front end, worker pools)
     # is a heavyweight import that plain library users never touch, so it
     # loads only on first attribute access (PEP 562).
-    if name == "SolveService":
-        from .serving import SolveService
+    if name in ("SolveService", "ReplicaSet", "HttpIngress", "HttpServiceClient"):
+        from . import serving
 
-        return SolveService
+        return getattr(serving, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "0.3.0"
@@ -107,6 +107,9 @@ __all__ = [
     "solve_batch",
     "batch_compat_key",
     "SolveService",
+    "ReplicaSet",
+    "HttpIngress",
+    "HttpServiceClient",
     "galley_iliopoulos_partition",
     "srikant_partition",
     "linear_partition",

@@ -127,3 +127,19 @@ class DeadlineExceededError(ServiceError):
 
 class ServiceShutdownError(ServiceError):
     """The service is draining or stopped and no longer accepts requests."""
+
+
+class WireFormatError(ServiceError, ValueError):
+    """A network payload does not conform to the serving wire schema.
+
+    Raised by :mod:`repro.serving.wire` when decoding a request or response
+    document that is malformed — wrong JSON shape, missing required fields,
+    values of the wrong type, or an unsupported schema version.  The HTTP
+    transport maps it to a ``400 Bad Request`` with a structured error
+    body; nothing from a payload that fails to decode is ever admitted.
+    """
+
+
+class ReplicaUnavailableError(ServiceError):
+    """No replica of a :class:`~repro.serving.replicas.ReplicaSet` could
+    accept a request (all ejected, draining, or rejecting)."""

@@ -20,7 +20,18 @@ front end that *accepts traffic*.  This package turns
   ``async submit()/result()/solve()`` plus a synchronous facade, graceful
   drain/shutdown and a rolling metrics snapshot;
 * :mod:`~repro.serving.metrics` — throughput, p50/p95/p99 latency, batch
-  occupancy and shed counts, with the aggregate PRAM ledger riding along.
+  occupancy and shed counts, with the aggregate PRAM ledger riding along
+  (JSON and Prometheus text expositions);
+* :mod:`~repro.serving.wire` — versioned JSON wire schemas round-tripping
+  requests, responses (bit-exact labels and billing) and structured
+  errors for any network transport;
+* :mod:`~repro.serving.transport` — a stdlib-only asyncio HTTP ingress
+  (``POST /v1/solve`` single + batch, ``GET /v1/jobs/{id}``, ``/healthz``,
+  ``/metrics``) with queue-full → 429 / draining → 503 / shed → 504 error
+  mapping, plus the blocking :class:`HttpServiceClient`;
+* :mod:`~repro.serving.replicas` — :class:`ReplicaSet`: N in-process
+  service replicas behind one submission surface with compat-key-affine
+  (rendezvous) placement, least-loaded spill, and health-gated ejection.
 
 Quickstart
 ----------
@@ -38,14 +49,18 @@ Or asynchronously, coalescing a burst of requests into shared batches::
     responses = await asyncio.gather(*(svc.async_solve(f, b) for f, b in work))
 
 ``python -m repro.serving --workers 4 --batch-size 32`` runs a
-self-contained load-generator demo and prints the metrics table.
+self-contained load-generator demo and prints the metrics table;
+``repro-serve --http --replicas 3`` serves the whole stack over HTTP, and
+``repro-serve --connect URL`` drives a running server over the wire.
 """
 
 from .batcher import Batch, BatcherStats, MicroBatcher
 from .metrics import LatencyWindow, MetricsRecorder, ServiceMetrics
 from .queue import IngressQueue
+from .replicas import ReplicaSet
 from .requests import JobStatus, SolveRequest, SolveResponse
 from .service import SolveService
+from .transport import HttpIngress, HttpServiceClient
 from .workers import (
     BatchOutcome,
     ProcessWorkerPool,
@@ -73,4 +88,7 @@ __all__ = [
     "ServiceMetrics",
     "MetricsRecorder",
     "LatencyWindow",
+    "ReplicaSet",
+    "HttpIngress",
+    "HttpServiceClient",
 ]

@@ -1,8 +1,18 @@
-"""Command-line demo and smoke test: ``python -m repro.serving``.
+"""Command-line front end: ``python -m repro.serving`` / ``repro-serve``.
 
-Runs a self-contained load-generator burst against a fresh
-:class:`~repro.serving.service.SolveService`, verifies every response
-against a direct single-instance solve, and prints the metrics table.
+Three modes:
+
+* **Demo/smoke (default)** — runs a self-contained load-generator burst
+  against a fresh :class:`~repro.serving.service.SolveService`, verifies
+  every response against a direct single-instance solve, and prints the
+  metrics table.
+* **HTTP server (``--http``)** — boots the stdlib asyncio HTTP ingress
+  (:mod:`repro.serving.transport`) in front of a ``SolveService`` (or a
+  :class:`~repro.serving.replicas.ReplicaSet` with ``--replicas N``) and
+  serves until interrupted, draining on shutdown.
+* **Wire load generator (``--connect URL``)** — fires the demo burst at an
+  *already-running* server over HTTP, verifies responses against direct
+  solves, and snapshots the server's ``/metrics`` document.
 
 Examples
 --------
@@ -11,11 +21,12 @@ The acceptance configuration (4 workers, 256 requests, batches of 32)::
 
     python -m repro.serving --workers 4 --batch-size 32 --requests 256
 
-CI smoke run, failing unless at least one multi-request batch formed, with
-the metrics snapshot persisted for artifact upload::
+Serve 3 replicas over HTTP on an ephemeral port, announcing it in a file
+(the CI ``transport-smoke`` pattern), then drive it over the wire::
 
-    python -m repro.serving --workers 2 --requests 64 --seed 0 \
-        --require-batching --metrics-out serving-metrics.json
+    repro-serve --http --port 0 --replicas 3 --port-file /tmp/port
+    repro-serve --connect http://127.0.0.1:$(cat /tmp/port) --requests 64 \
+        --metrics-out transport-metrics.json
 
 Exit codes: 0 success; 1 incomplete or mismatched responses; 2 no
 multi-request batch despite ``--require-batching``.
@@ -27,10 +38,11 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from ..analysis.tables import render_table
-from .bench import run_load
+from .bench import run_load, run_wire_load
 from .workers import BACKENDS, PLACEMENTS
 
 #: Schema stamp of the ``--metrics-out`` JSON document.
@@ -83,12 +95,139 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final metrics snapshot as JSON to PATH",
     )
     parser.add_argument("--quiet", "-q", action="store_true", help="suppress tables")
+
+    net = parser.add_argument_group("network transport")
+    net.add_argument(
+        "--http", action="store_true",
+        help="serve HTTP instead of running the demo burst",
+    )
+    net.add_argument("--host", default="127.0.0.1", help="bind address (default loopback)")
+    net.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port for --http (0 = ephemeral; see --port-file)",
+    )
+    net.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port to PATH once listening (readiness signal)",
+    )
+    net.add_argument(
+        "--replicas", type=int, default=1,
+        help="serve a ReplicaSet of N services behind the ingress (default 1)",
+    )
+    net.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="transport admission cap: pending requests beyond this get 429",
+    )
+    net.add_argument(
+        "--connect", default=None, metavar="URL",
+        help="drive an already-running server over the wire instead of "
+             "booting one (load generator for CI smoke)",
+    )
     return parser
+
+
+def serve_http(args, say) -> int:
+    """``--http``: boot the ingress and serve until interrupted."""
+    from .replicas import ReplicaSet
+    from .service import SolveService
+    from .transport import HttpIngress
+
+    service_kwargs = dict(
+        workers=args.workers,
+        backend=args.backend,
+        placement=args.placement,
+        max_batch_size=args.batch_size,
+        max_batch_delay=args.batch_delay_ms / 1e3,
+        queue_capacity=args.queue_capacity,
+        mode=args.mode,
+        default_algorithm=args.algorithm,
+    )
+    if args.replicas > 1:
+        backend = ReplicaSet(args.replicas, seed=args.seed, **service_kwargs)
+        say(f"[repro.serving] replica set: {args.replicas} x {args.workers} "
+            f"{args.backend} worker(s)")
+    else:
+        backend = SolveService(seed=args.seed, **service_kwargs)
+    ingress = HttpIngress(
+        backend, host=args.host, port=args.port, max_inflight=args.max_inflight
+    ).start_in_thread()
+    say(f"[repro.serving] listening on {ingress.url} "
+        "(POST /v1/solve, GET /healthz, GET /metrics; Ctrl-C to drain and stop)")
+    if args.port_file:
+        port_dir = os.path.dirname(args.port_file)
+        if port_dir:
+            os.makedirs(port_dir, exist_ok=True)
+        with open(args.port_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{ingress.port}\n")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        say("\n[repro.serving] draining...")
+    finally:
+        backend.shutdown(drain=True)
+        ingress.close()
+    say("[repro.serving] stopped")
+    return 0
+
+
+def run_connect(args, say) -> int:
+    """``--connect URL``: wire load generator against a running server."""
+    say(f"[repro.serving] over-the-wire burst of {args.requests} requests "
+        f"(n={args.size}) -> {args.connect}")
+    report = run_wire_load(
+        args.connect,
+        requests=args.requests,
+        size=args.size,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        audit_mix=not args.no_audit_mix,
+        verify=not args.no_verify,
+    )
+    say(f"[repro.serving] completed {report.completed}/{len(report.responses)} "
+        f"in {report.wall_seconds:.3f}s "
+        f"({report.completed / report.wall_seconds:.1f} req/s over the wire)")
+    if report.verified is not None:
+        say("[repro.serving] verification vs direct coarsest_partition: "
+            f"{'OK' if report.verified else 'MISMATCH'}")
+    if args.metrics_out:
+        document = {
+            "schema": METRICS_SCHEMA,
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "config": report.config,
+            "server_metrics": report.server_metrics,
+            "wall_seconds": round(report.wall_seconds, 4),
+            "completed": report.completed,
+            "verified": report.verified,
+        }
+        out_dir = os.path.dirname(args.metrics_out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        say(f"[repro.serving] wrote {args.metrics_out}")
+    if not report.all_done or report.verified is False:
+        print(
+            f"[repro.serving] FAILURE: {len(report.responses) - report.completed} "
+            f"incomplete, {len(report.mismatches)} mismatched responses",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     say = (lambda *_: None) if args.quiet else print
+    if args.http and args.connect:
+        print("[repro.serving] --http and --connect are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.http:
+        return serve_http(args, say)
+    if args.connect:
+        return run_connect(args, say)
 
     say(
         f"[repro.serving] burst of {args.requests} requests (n={args.size}) -> "

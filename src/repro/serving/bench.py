@@ -2,18 +2,24 @@
 
 :func:`run_load` drives a :class:`~repro.serving.service.SolveService`
 with a synthetic but deterministic request stream (rotating workload
-families, mixed audited/unaudited traffic) through the *asyncio* front
-end, optionally verifying every response against a direct single-instance
-:func:`repro.partition.coarsest_partition` call.  It is the engine behind
-both ``python -m repro.serving`` (the demo/smoke CLI) and the ``serving``
-benchmark experiment, whose ``BENCH_SERVING.json`` artifact tracks service
-throughput and latency across PRs alongside the ``BENCH_E*.json`` family.
+families, mixed audited/unaudited traffic), optionally verifying every
+response against a direct single-instance
+:func:`repro.partition.coarsest_partition` call.  Two transports are
+supported: ``"inproc"`` fires the burst through the *asyncio* front end;
+``"http"`` boots a loopback :class:`~repro.serving.transport.HttpIngress`
+around the same service and fires the burst over real sockets, so the
+``serving`` benchmark experiment (``BENCH_SERVING.json``) tracks the
+over-the-wire overhead next to the in-process numbers across PRs.
+:func:`run_wire_load` drives an *already-running* server by URL (the
+``repro-serve --connect`` load generator used by the CI transport smoke).
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,6 +30,9 @@ from ..partition import coarsest_partition, same_partition
 from .metrics import ServiceMetrics
 from .requests import JobStatus, SolveResponse
 from .service import SolveService
+
+#: Transports :func:`run_load` can fire a burst through.
+TRANSPORTS = ("inproc", "http")
 
 #: Workload families the load generator rotates through.
 _FAMILIES = (
@@ -95,16 +104,23 @@ def run_load(
     algorithm: str = "jaja-ryu",
     audit_mix: bool = True,
     verify: bool = False,
+    transport: str = "inproc",
+    concurrency: int = 16,
 ) -> LoadReport:
     """Drive a fresh service with a synthetic burst and report the outcome.
 
-    All ``requests`` solve requests are fired concurrently through the
-    asyncio front end (the realistic arrival pattern for micro-batching:
-    a burst, not a trickle), the service is drained, and the final metrics
-    snapshot is captured.  With ``verify`` every DONE response's labels are
-    checked against a direct ``coarsest_partition`` call with the same
-    algorithm and audit flag.
+    All ``requests`` solve requests are fired concurrently (the realistic
+    arrival pattern for micro-batching: a burst, not a trickle), the
+    service is drained, and the final metrics snapshot is captured.  With
+    ``transport="inproc"`` the burst goes through the asyncio front end;
+    with ``"http"`` a loopback :class:`~repro.serving.transport.HttpIngress`
+    is booted around the service and the burst travels over real sockets
+    (``concurrency`` keep-alive client connections).  With ``verify``
+    every DONE response's labels are checked against a direct
+    ``coarsest_partition`` call with the same algorithm and audit flag.
     """
+    if transport not in TRANSPORTS:
+        raise ValueError(f"unknown transport {transport!r}; choose from {TRANSPORTS}")
     stream = generate_requests(requests, size, seed=seed, audit_mix=audit_mix)
     config: Dict[str, object] = {
         "workers": workers,
@@ -119,6 +135,7 @@ def run_load(
         "seed": seed,
         "algorithm": algorithm,
         "audit_mix": audit_mix,
+        "transport": transport,
     }
 
     service = SolveService(
@@ -132,13 +149,26 @@ def run_load(
         default_algorithm=algorithm,
         seed=seed,
     )
-    start = time.perf_counter()
+    ingress = None
     try:
-        responses = asyncio.run(_fire(service, stream, algorithm))
+        if transport == "http":
+            # Boot the loopback server BEFORE the timer: the measured
+            # window is the wire cost of the burst, not thread/event-loop
+            # startup and teardown.
+            from .transport import HttpIngress
+
+            ingress = HttpIngress(service).start_in_thread()
+        start = time.perf_counter()
+        if ingress is not None:
+            responses = _post_stream(ingress.url, stream, algorithm, concurrency)
+        else:
+            responses = asyncio.run(_fire(service, stream, algorithm))
         service.drain()
         wall = time.perf_counter() - start
         metrics = service.metrics()
     finally:
+        if ingress is not None:
+            ingress.close()
         service.shutdown()
 
     report = LoadReport(
@@ -148,17 +178,25 @@ def run_load(
         config=config,
     )
     if verify:
-        report.verified = True
-        for (f, b, audit), response in zip(stream, responses):
-            if response.status is not JobStatus.DONE:
-                report.verified = False
-                report.mismatches.append(response.request_id)
-                continue
-            direct = coarsest_partition(f, b, algorithm=algorithm, audit=audit)
-            if not same_partition(response.labels, direct.labels):
-                report.verified = False
-                report.mismatches.append(response.request_id)
+        _verify(report, stream, algorithm)
     return report
+
+
+def _verify(
+    report,  # LoadReport or WireLoadReport: responses/verified/mismatches
+    stream: Sequence[Tuple[np.ndarray, np.ndarray, bool]],
+    algorithm: str,
+) -> None:
+    report.verified = True
+    for (f, b, audit), response in zip(stream, report.responses):
+        if response.status is not JobStatus.DONE:
+            report.verified = False
+            report.mismatches.append(response.request_id)
+            continue
+        direct = coarsest_partition(f, b, algorithm=algorithm, audit=audit)
+        if not same_partition(response.labels, direct.labels):
+            report.verified = False
+            report.mismatches.append(response.request_id)
 
 
 async def _fire(
@@ -176,6 +214,101 @@ async def _fire(
     )
 
 
+def _post_stream(
+    url: str,
+    stream: Sequence[Tuple[np.ndarray, np.ndarray, bool]],
+    algorithm: str,
+    concurrency: int,
+) -> List[SolveResponse]:
+    """Fire a burst at a running server, one keep-alive client per thread."""
+    from .transport import HttpServiceClient
+
+    local = threading.local()
+    clients: List[HttpServiceClient] = []
+    clients_lock = threading.Lock()
+
+    def client() -> HttpServiceClient:
+        if not hasattr(local, "client"):
+            local.client = HttpServiceClient(url)
+            with clients_lock:
+                clients.append(local.client)
+        return local.client
+
+    def fire(item: Tuple[np.ndarray, np.ndarray, bool]) -> SolveResponse:
+        f, b, audit = item
+        return client().solve(f, b, algorithm=algorithm, audit=audit)
+
+    pool = ThreadPoolExecutor(max_workers=max(1, min(concurrency, len(stream))))
+    try:
+        return list(pool.map(fire, stream))
+    finally:
+        pool.shutdown(wait=True)
+        for c in clients:
+            c.close()
+
+
+@dataclass
+class WireLoadReport:
+    """Outcome of :func:`run_wire_load` against a running server."""
+
+    responses: List[SolveResponse]
+    wall_seconds: float
+    config: Dict[str, object]
+    server_metrics: Optional[Dict[str, object]] = None
+    mismatches: List[int] = field(default_factory=list)
+    verified: Optional[bool] = None
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.responses if r.status is JobStatus.DONE)
+
+    @property
+    def all_done(self) -> bool:
+        return self.completed == len(self.responses)
+
+
+def run_wire_load(
+    url: str,
+    *,
+    requests: int = 64,
+    size: int = 256,
+    seed: int = 0,
+    algorithm: str = "jaja-ryu",
+    audit_mix: bool = True,
+    verify: bool = True,
+    concurrency: int = 16,
+) -> WireLoadReport:
+    """Drive an already-running serving endpoint over the wire.
+
+    This is the ``repro-serve --connect URL`` engine: it fires the same
+    deterministic stream :func:`run_load` uses, verifies DONE responses
+    against direct ``coarsest_partition`` calls, and snapshots the
+    *server's* ``/metrics`` document afterwards (the server is a separate
+    process, so its metrics are the only service-side observability).
+    """
+    from .transport import HttpServiceClient
+
+    stream = generate_requests(requests, size, seed=seed, audit_mix=audit_mix)
+    start = time.perf_counter()
+    responses = _post_stream(url, stream, algorithm, concurrency)
+    wall = time.perf_counter() - start
+    with HttpServiceClient(url) as client:
+        server_metrics = client.metrics()
+    report = WireLoadReport(
+        responses=responses,
+        wall_seconds=wall,
+        config={
+            "url": url, "requests": requests, "size": size, "seed": seed,
+            "algorithm": algorithm, "audit_mix": audit_mix,
+            "concurrency": concurrency, "transport": "http",
+        },
+        server_metrics=server_metrics,
+    )
+    if verify:
+        _verify(report, stream, algorithm)
+    return report
+
+
 def run_serving_benchmark(
     sizes: Sequence[int] = (128, 256),
     *,
@@ -186,46 +319,53 @@ def run_serving_benchmark(
     max_batch_delay: float = 0.002,
     backend: str = "thread",
     mode: str = "packed",
+    transports: Sequence[str] = TRANSPORTS,
 ) -> List[Dict[str, object]]:
-    """Benchmark-registry runner: one row per instance size.
+    """Benchmark-registry runner: one row per (instance size, transport).
 
     Rows carry both host-level service numbers (throughput, latency
     percentiles, occupancy) and the aggregate charged PRAM cost, so the
     ``BENCH_SERVING.json`` totals are regression-trackable like every
-    other experiment's.
+    other experiment's.  The ``"http"`` transport rows fire the identical
+    burst through a loopback HTTP ingress, so the artifact tracks the
+    over-the-wire overhead (wall/latency delta at equal charged work)
+    across PRs.
     """
     rows: List[Dict[str, object]] = []
     for n in sizes:
-        report = run_load(
-            workers=workers,
-            backend=backend,
-            max_batch_size=max_batch_size,
-            max_batch_delay=max_batch_delay,
-            mode=mode,
-            requests=requests,
-            size=int(n),
-            seed=seed,
-        )
-        m = report.metrics
-        rows.append(
-            {
-                "n": int(n),
-                "workers": workers,
-                "requests": requests,
-                "completed": report.completed,
-                "shed": m.shed,
-                "batches": m.batches,
-                "multi_batches": m.multi_request_batches,
-                "mean_occupancy": round(m.mean_occupancy, 2),
-                "max_occupancy": m.max_occupancy,
-                "throughput_rps": round(m.throughput_rps, 1),
-                "p50_ms": round(m.latency_p50_ms, 2),
-                "p95_ms": round(m.latency_p95_ms, 2),
-                "p99_ms": round(m.latency_p99_ms, 2),
-                "wall_seconds": round(report.wall_seconds, 4),
-                "time": m.pram.time,
-                "work": m.pram.work,
-                "charged_work": m.pram.charged_work,
-            }
-        )
+        for transport in transports:
+            report = run_load(
+                workers=workers,
+                backend=backend,
+                max_batch_size=max_batch_size,
+                max_batch_delay=max_batch_delay,
+                mode=mode,
+                requests=requests,
+                size=int(n),
+                seed=seed,
+                transport=transport,
+            )
+            m = report.metrics
+            rows.append(
+                {
+                    "n": int(n),
+                    "transport": transport,
+                    "workers": workers,
+                    "requests": requests,
+                    "completed": report.completed,
+                    "shed": m.shed,
+                    "batches": m.batches,
+                    "multi_batches": m.multi_request_batches,
+                    "mean_occupancy": round(m.mean_occupancy, 2),
+                    "max_occupancy": m.max_occupancy,
+                    "throughput_rps": round(m.throughput_rps, 1),
+                    "p50_ms": round(m.latency_p50_ms, 2),
+                    "p95_ms": round(m.latency_p95_ms, 2),
+                    "p99_ms": round(m.latency_p99_ms, 2),
+                    "wall_seconds": round(report.wall_seconds, 4),
+                    "time": m.pram.time,
+                    "work": m.pram.work,
+                    "charged_work": m.pram.charged_work,
+                }
+            )
     return rows

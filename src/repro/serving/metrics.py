@@ -104,6 +104,47 @@ class ServiceMetrics:
             "workers": self.workers,
         }
 
+    def as_prometheus(self, *, prefix: str = "repro_serving") -> str:
+        """Prometheus text exposition of the snapshot (``GET /metrics``).
+
+        One exposition per scrape target: a replica set serves its
+        *aggregate* snapshot here (per-replica detail lives in the JSON
+        document and ``/v1/replicas``).
+        """
+        tag = ""
+        counters = {
+            "submitted_total": self.submitted,
+            "completed_total": self.completed,
+            "failed_total": self.failed,
+            "shed_total": self.shed,
+            "rejected_total": self.rejected,
+            "batches_total": self.batches,
+            "multi_request_batches_total": self.multi_request_batches,
+            "pram_time_total": self.pram.time,
+            "pram_work_total": self.pram.work,
+            "pram_charged_work_total": self.pram.charged_work,
+        }
+        gauges = {
+            "uptime_seconds": self.uptime_seconds,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "mean_batch_occupancy": self.mean_occupancy,
+            "max_batch_occupancy": self.max_occupancy,
+        }
+        lines: List[str] = []
+        for name, value in counters.items():
+            lines.append(f"# TYPE {prefix}_{name} counter")
+            lines.append(f"{prefix}_{name}{tag} {value}")
+        for name, value in gauges.items():
+            lines.append(f"# TYPE {prefix}_{name} gauge")
+            lines.append(f"{prefix}_{name}{tag} {float(value):g}")
+        return "\n".join(lines) + "\n"
+
     def as_rows(self) -> List[Dict[str, object]]:
         """Key/value rows for ``repro.analysis.tables.render_table``."""
         flat = self.as_dict()

@@ -96,6 +96,21 @@ class IngressQueue:
                     raise QueueFullError(
                         f"ingress queue still full after {timeout}s of backpressure"
                     )
+                # Wake when the earliest queued deadline elapses, not just
+                # on explicit notify: shedding that entry is what frees the
+                # space this put is waiting for, and nothing else touches
+                # the queue on an idle service (a put blocked behind a
+                # deadline-only occupant would otherwise wait forever).
+                next_expiry = min(
+                    (r.deadline for r in self._entries if r.deadline is not None),
+                    default=None,
+                )
+                if next_expiry is not None:
+                    until_expiry = max(0.0, next_expiry - time.monotonic())
+                    remaining = (
+                        until_expiry if remaining is None
+                        else min(remaining, until_expiry)
+                    )
                 self._not_full.wait(timeout=remaining)
 
     # ------------------------------------------------------------------
@@ -114,6 +129,11 @@ class IngressQueue:
                 head = self._head_locked()
                 if head is not None:
                     return head.compat_key
+                if self._closed:
+                    # Closed and empty: nothing will ever arrive.  Give up
+                    # immediately so a shutdown flush is not held hostage
+                    # by a long poll interval (the empty-queue drain race).
+                    return None
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     return None

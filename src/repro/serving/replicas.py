@@ -1,0 +1,434 @@
+"""Replicated shards behind one client-facing endpoint.
+
+A :class:`ReplicaSet` runs N in-process :class:`~repro.serving.service.SolveService`
+replicas and routes every admitted request to exactly one of them, behind
+the same ``submit_request`` / ``result`` / ``on_response`` surface a single
+service exposes — so a transport (and the conformance suite) can sit in
+front of either without caring which it got.
+
+Routing-aware admission
+-----------------------
+
+* **Compat-key affinity** — the preferred replica for a request is chosen
+  by rendezvous (highest-random-weight) hashing of its
+  :func:`~repro.partition.batch_compat_key`.  Requests that may coalesce
+  therefore land on the *same* replica's micro-batcher, keeping batch
+  occupancy high instead of scattering compatible work across shards; and
+  because rendezvous hashing is consistent, ejecting one replica only
+  re-homes the keys that lived there.
+* **Least-loaded fallback** — when the preferred replica is unhealthy,
+  draining, or has more work in flight than ``spill_inflight`` allows, the
+  request spills to the healthiest least-loaded replica instead.  A replica
+  that rejects admission (queue full, draining) is skipped and the next
+  candidate is tried; only when *every* live replica rejects does the
+  submit fail (:class:`~repro.errors.ReplicaUnavailableError` when none
+  could even be tried).
+* **Health gating** — ``auto_eject_after`` consecutive admission failures
+  mark a replica unhealthy, demoting it to a last-resort *probe* position
+  in the placement order; the next admission that succeeds through a
+  probe restores it to normal placement (or an operator can
+  :meth:`restore` it directly).  :meth:`eject` force-ejects a replica: it
+  immediately stops receiving new work and (by default) drains in the
+  background — its accepted requests still complete and are collected
+  through the set, so ejection never loses or re-bills a job.
+
+Request ids are unique across replicas (they come from one process-wide
+counter), so the set can keep a flat ``request_id -> replica`` routing map.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import QueueFullError, ReplicaUnavailableError, ServiceError, ServiceShutdownError
+from ..types import CostSummary
+from .metrics import ServiceMetrics
+from .requests import SolveRequest, SolveResponse
+from .service import SolveService
+
+
+@dataclass
+class _Replica:
+    """One shard plus its routing state (guarded by the set's lock)."""
+
+    replica_id: int
+    service: SolveService
+    healthy: bool = True
+    ejected: bool = False
+    routed: int = 0                #: requests this replica admitted
+    consecutive_rejects: int = 0   #: admission failures since last success
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "replica": self.replica_id,
+            "healthy": self.healthy,
+            "ejected": self.ejected,
+            "accepting": self.service.accepting,
+            "inflight": self.service.inflight,
+            "queue_depth": self.service.queue_depth,
+            "routed": self.routed,
+        }
+
+
+class ReplicaSet:
+    """N in-process service replicas behind one submission surface.
+
+    Parameters
+    ----------
+    replicas:
+        Number of replicas (>= 1).
+    service_factory:
+        ``callable(replica_id) -> SolveService`` building each replica;
+        when omitted, replicas are ``SolveService(**service_kwargs)`` with
+        ``seed`` offset per replica so worker RNG streams stay disjoint.
+    spill_inflight:
+        In-flight threshold beyond which the preferred (affinity) replica
+        is considered hot and the request spills to the least-loaded one;
+        ``None`` disables spilling (strict affinity while healthy).
+    auto_eject_after:
+        Consecutive admission failures after which a replica is marked
+        unhealthy and removed from placement (0 disables health gating).
+    service_kwargs:
+        Forwarded to :class:`SolveService` by the default factory.
+    """
+
+    def __init__(
+        self,
+        replicas: int = 3,
+        *,
+        service_factory: Optional[Callable[[int], SolveService]] = None,
+        spill_inflight: Optional[int] = None,
+        auto_eject_after: int = 3,
+        seed: int = 0,
+        **service_kwargs,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("a ReplicaSet needs at least one replica")
+        if service_factory is None:
+            def service_factory(replica_id: int) -> SolveService:  # noqa: F811
+                # Disjoint seed blocks: replica i's workers draw from
+                # seeds seed + 1000*i + {0, 1, ...}.
+                return SolveService(seed=seed + 1000 * replica_id, **service_kwargs)
+        self._lock = threading.Lock()
+        self._replicas = [
+            _Replica(i, service_factory(i)) for i in range(int(replicas))
+        ]
+        self._routes: Dict[int, _Replica] = {}
+        self.spill_inflight = spill_inflight
+        self.auto_eject_after = int(auto_eject_after)
+        self._drain_threads: List[threading.Thread] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _rendezvous_order(self, compat_key, candidates: List[_Replica]) -> List[_Replica]:
+        """Candidates by descending rendezvous weight for this compat key."""
+        def weight(replica: _Replica) -> int:
+            digest = hashlib.blake2b(
+                f"{compat_key!r}|{replica.replica_id}".encode(), digest_size=8
+            ).digest()
+            return int.from_bytes(digest, "big")
+
+        return sorted(candidates, key=weight, reverse=True)
+
+    def _placement_order(self, request: SolveRequest) -> List[_Replica]:
+        """Admission attempt order: affinity target first, then least-loaded.
+
+        LOCK ORDER INVARIANT: per-service state (``accepting``,
+        ``inflight`` — which take the service's and its queue's locks) is
+        read *outside* the set lock.  The shed-callback chain runs under a
+        replica's queue lock and ends in this set's lock
+        (``on_response._deliver``), so holding the set lock across a
+        service read would close an ABBA cycle and deadlock the whole
+        front end.  The set lock only snapshots the health flags.
+        """
+        with self._lock:
+            flags = [(r, r.healthy, r.ejected) for r in self._replicas]
+        live: List[_Replica] = []
+        probes: List[_Replica] = []
+        for replica, healthy, ejected in flags:
+            if ejected or not replica.service.accepting:
+                continue
+            # Unhealthy-but-accepting replicas stay reachable as last-resort
+            # probes: health marks are a heuristic, and a successful
+            # admission (the probe) is what restores a replica — without
+            # this an auto-ejected replica could never recover on its own.
+            (live if healthy else probes).append(replica)
+        probes.sort(key=lambda r: (r.service.inflight, r.replica_id))
+        if not live:
+            live, probes = probes, []
+        if not live:
+            return []
+        by_affinity = self._rendezvous_order(request.compat_key, live)
+        preferred = by_affinity[0]
+        rest = sorted(
+            (r for r in by_affinity[1:]),
+            key=lambda r: (r.service.inflight, r.replica_id),
+        )
+        if (
+            self.spill_inflight is not None
+            and preferred.service.inflight >= self.spill_inflight
+            and rest
+        ):
+            # The affinity target is hot: spill to the least-loaded
+            # replica but keep the preferred one as a fallback.
+            return rest + [preferred] + probes
+        return [preferred] + rest + probes
+
+    def submit_request(
+        self,
+        request: SolveRequest,
+        *,
+        block: bool = False,
+        put_timeout: Optional[float] = None,
+    ) -> int:
+        """Admit ``request`` on exactly one replica; returns its id.
+
+        Tries the placement order until a replica accepts.  ``block`` /
+        ``put_timeout`` apply only to the *last* candidate — earlier ones
+        are probed non-blocking so one full replica never stalls a request
+        that another replica could take immediately.
+        """
+        order = self._placement_order(request)
+        if not order:
+            raise ReplicaUnavailableError(
+                "no replica is accepting requests (all ejected or draining)"
+            )
+        last_error: Optional[ServiceError] = None
+        for position, replica in enumerate(order):
+            final = position == len(order) - 1
+            try:
+                request_id = replica.service.submit_request(
+                    request,
+                    block=block and final,
+                    put_timeout=put_timeout if final else None,
+                )
+            except (QueueFullError, ServiceShutdownError) as exc:
+                last_error = exc
+                self._note_reject(replica)
+                continue
+            with self._lock:
+                self._routes[request_id] = replica
+                replica.routed += 1
+                replica.consecutive_rejects = 0
+                # A successful admission IS the health probe: an
+                # auto-marked-unhealthy replica that admits again returns
+                # to normal placement.
+                replica.healthy = True
+            return request_id
+        assert last_error is not None
+        raise last_error
+
+    def _note_reject(self, replica: _Replica) -> None:
+        with self._lock:
+            replica.consecutive_rejects += 1
+            if (
+                self.auto_eject_after > 0
+                and replica.consecutive_rejects >= self.auto_eject_after
+            ):
+                replica.healthy = False
+
+    # ------------------------------------------------------------------
+    # collection (mirrors the SolveService surface)
+    # ------------------------------------------------------------------
+    def _route(self, request_id: int) -> _Replica:
+        with self._lock:
+            replica = self._routes.get(request_id)
+        if replica is None:
+            raise KeyError(f"unknown or already-collected request id {request_id}")
+        return replica
+
+    def result(self, request_id: int, timeout: Optional[float] = None) -> SolveResponse:
+        """Block until the response for ``request_id`` is ready, then pop it."""
+        replica = self._route(request_id)
+        response = replica.service.result(request_id, timeout=timeout)
+        with self._lock:
+            self._routes.pop(request_id, None)
+        return response
+
+    def on_response(self, request_id: int, callback) -> None:
+        """Asynchronous hand-off, exactly as :meth:`SolveService.on_response`."""
+        replica = self._route(request_id)
+
+        def _deliver(response: SolveResponse) -> None:
+            with self._lock:
+                self._routes.pop(request_id, None)
+            callback(response)
+
+        replica.service.on_response(request_id, _deliver)
+
+    def solve(self, function, initial_labels, *, timeout=None, **submit_kwargs) -> SolveResponse:
+        """Convenience: build, route, and wait for one request."""
+        request = SolveRequest.make(function, initial_labels, **submit_kwargs)
+        request_id = self.submit_request(request, block=True)
+        return self.result(request_id, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # health / operator surface
+    # ------------------------------------------------------------------
+    def eject(self, replica_id: int, *, drain: bool = True) -> None:
+        """Force a replica out of placement, optionally draining it.
+
+        With ``drain`` (default) the replica stops admission and its queue
+        flushes through its batcher in the background — accepted requests
+        still complete and remain collectable through the set, so ejection
+        loses nothing.  With ``drain=False`` the replica merely stops
+        receiving *new* work and can be :meth:`restore`-d later.
+        """
+        replica = self._replica(replica_id)
+        with self._lock:
+            replica.ejected = True
+        if drain:
+            thread = threading.Thread(
+                target=replica.service.drain,
+                name=f"repro-replica-drain-{replica_id}",
+                daemon=True,
+            )
+            thread.start()
+            with self._lock:
+                self._drain_threads.append(thread)
+
+    def restore(self, replica_id: int) -> None:
+        """Return an ejected/unhealthy replica to placement.
+
+        Only possible while the replica still accepts work — a drained
+        replica has permanently stopped admission and raises
+        :class:`~repro.errors.ServiceError`.
+        """
+        replica = self._replica(replica_id)
+        if not replica.service.accepting:
+            raise ServiceError(
+                f"replica {replica_id} has been drained and cannot be restored; "
+                "build a fresh replica instead"
+            )
+        with self._lock:
+            replica.ejected = False
+            replica.healthy = True
+            replica.consecutive_rejects = 0
+
+    def _replica(self, replica_id: int) -> _Replica:
+        if not 0 <= replica_id < len(self._replicas):
+            raise KeyError(
+                f"unknown replica {replica_id}; this set has "
+                f"{len(self._replicas)} replicas (0..{len(self._replicas) - 1})"
+            )
+        return self._replicas[replica_id]
+
+    def replica_rows(self) -> List[Dict[str, object]]:
+        """Routing/health view, one row per replica (admin endpoint).
+
+        Deliberately NOT under the set lock: ``as_row`` reads per-service
+        state whose locks the shed-callback chain holds while waiting for
+        the set lock (see :meth:`_placement_order`'s lock-order invariant).
+        The replica list is immutable and the flag reads are atomic, so
+        the rows are a consistent-enough advisory snapshot.
+        """
+        return [r.as_row() for r in self._replicas]
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def accepting(self) -> bool:
+        """True while at least one replica admits new requests."""
+        return any(not r.ejected and r.service.accepting for r in self._replicas)
+
+    @property
+    def inflight(self) -> int:
+        return sum(r.service.inflight for r in self._replicas)
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(r.service.queue_depth for r in self._replicas)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> ServiceMetrics:
+        """Aggregate snapshot across replicas.
+
+        Counters (submitted/completed/failed/shed/rejected, batches, PRAM
+        ledger, queue depth, in-flight) are summed; latency percentiles are
+        the *worst* replica's (a conservative service-level view — exact
+        cross-replica percentiles would need the raw windows); occupancy is
+        request-weighted.
+        """
+        snaps = [r.service.metrics() for r in self._replicas]
+        batches = sum(s.batches for s in snaps)
+        requests = sum(s.batches * s.mean_occupancy for s in snaps)
+        return ServiceMetrics(
+            uptime_seconds=max(s.uptime_seconds for s in snaps),
+            submitted=sum(s.submitted for s in snaps),
+            completed=sum(s.completed for s in snaps),
+            failed=sum(s.failed for s in snaps),
+            shed=sum(s.shed for s in snaps),
+            rejected=sum(s.rejected for s in snaps),
+            queue_depth=sum(s.queue_depth for s in snaps),
+            inflight=sum(s.inflight for s in snaps),
+            throughput_rps=sum(s.throughput_rps for s in snaps),
+            latency_p50_ms=max(s.latency_p50_ms for s in snaps),
+            latency_p95_ms=max(s.latency_p95_ms for s in snaps),
+            latency_p99_ms=max(s.latency_p99_ms for s in snaps),
+            latency_mean_ms=max(s.latency_mean_ms for s in snaps),
+            batches=batches,
+            multi_request_batches=sum(s.multi_request_batches for s in snaps),
+            mean_occupancy=requests / batches if batches else 0.0,
+            max_occupancy=max(s.max_occupancy for s in snaps),
+            pram=CostSummary(
+                time=sum(s.pram.time for s in snaps),
+                work=sum(s.pram.work for s in snaps),
+                charged_work=sum(s.pram.charged_work for s in snaps),
+            ),
+            workers=[
+                {**row, "replica": replica.replica_id}
+                for replica, snap in zip(self._replicas, snaps)
+                for row in snap.workers
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission everywhere and wait for all replicas to go idle."""
+        threads = [
+            threading.Thread(target=r.service.drain, daemon=True)
+            for r in self._replicas
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=timeout)
+        return all(r.service.inflight == 0 for r in self._replicas)
+
+    def shutdown(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut every replica down (drain semantics per replica)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            drain_threads = list(self._drain_threads)
+        for thread in drain_threads:
+            thread.join(timeout=timeout)
+        threads = [
+            threading.Thread(
+                target=lambda svc=r.service: svc.shutdown(drain=drain, timeout=timeout),
+                daemon=True,
+            )
+            for r in self._replicas
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)

@@ -186,6 +186,46 @@ class SolveService:
         request_id = self.submit(function, initial_labels, **submit_kwargs)
         return self.result(request_id, timeout=timeout)
 
+    def on_response(self, request_id: int, callback) -> None:
+        """Deliver the response for ``request_id`` to ``callback`` instead
+        of a blocking :meth:`result` call.
+
+        This is the hand-off used by network transports: the callback fires
+        (from the thread that resolves the request — a worker-completion or
+        shed path) exactly once with the :class:`SolveResponse`, and the
+        service forgets the request, so the caller owns retention from then
+        on.  Fires immediately if the response is already ready.  Raises
+        ``KeyError`` for unknown or already-collected ids.
+        """
+        with self._lock:
+            future = self._futures.get(request_id)
+        if future is None:
+            raise KeyError(f"unknown or already-collected request id {request_id}")
+
+        def _deliver(done: "Future[SolveResponse]") -> None:
+            with self._lock:
+                self._futures.pop(request_id, None)
+            callback(done.result())
+
+        future.add_done_callback(_deliver)
+
+    @property
+    def accepting(self) -> bool:
+        """True while :meth:`submit` admits new requests (not draining)."""
+        with self._lock:
+            return self._accepting
+
+    @property
+    def inflight(self) -> int:
+        """Number of accepted requests not yet answered."""
+        with self._lock:
+            return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests sitting in the ingress queue (not yet claimed)."""
+        return len(self._queue)
+
     # ------------------------------------------------------------------
     # asyncio front end
     # ------------------------------------------------------------------

@@ -114,6 +114,27 @@ def test_solve_batch_single_instance_degenerates_cleanly(mode):
     assert batch.per_instance[0].work == batch.cost.work
 
 
+def test_batch_error_messages_diagnose_the_scheduler_bug():
+    """BatchError messages are operator-facing diagnostics: they must say
+    what the scheduler did wrong AND how to fix it — pin the exact text,
+    not just the exception type."""
+    from repro.errors import BatchError
+
+    with pytest.raises(BatchError) as empty_info:
+        solve_batch([])
+    message = str(empty_info.value)
+    assert "solve_batch received an empty batch" in message
+    assert "a batcher must never dispatch zero instances" in message
+    assert "coalesce first, then solve" in message
+
+    with pytest.raises(BatchError) as mixed_info:
+        solve_batch(_mixed_batch(), audit=[True, False])
+    message = str(mixed_info.value)
+    assert "batch mixes audit=True and audit=False instances" in message
+    assert "a batch runs as one machine execution" in message
+    assert "group requests by batch_compat_key() before coalescing" in message
+
+
 def test_solve_batch_mixed_audit_flags_raise():
     from repro.errors import BatchError, ReproError
 

@@ -50,6 +50,15 @@ def test_batch_throughput_example_runs():
     assert "audit=False" in proc.stdout
 
 
+def test_transport_demo_example_runs():
+    proc = _run_example(EXAMPLES / "transport_demo.py", "--requests", "6", "--size", "48")
+    assert proc.returncode == 0, proc.stderr
+    assert "serving 3 replicas at http://" in proc.stdout
+    assert "polled to completion: done" in proc.stdout
+    assert "after ejecting replica 1: 6/6 solved" in proc.stdout
+    assert "drained and stopped cleanly" in proc.stdout
+
+
 def test_serving_demo_example_runs():
     proc = _run_example(EXAMPLES / "serving_demo.py", "--requests", "8", "--size", "48")
     assert proc.returncode == 0, proc.stderr

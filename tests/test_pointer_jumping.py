@@ -76,6 +76,48 @@ def test_jump_to_fixed_point_cycle_flag_without_warning(machine, recwarn):
     assert not [w for w in recwarn.list if "fixed point" in str(w.message)]
 
 
+def test_jump_to_fixed_point_warning_text_and_default_return_shape(machine):
+    """The warning's guidance text is part of the API: it names the round
+    budget and tells the caller exactly how to opt out of the warning; and
+    the default ``return_converged=False`` path returns a bare array (not
+    a tuple), converged or not."""
+    import warnings as _warnings
+
+    from repro.errors import NonConvergenceWarning
+
+    cycle = np.array([1, 2, 3, 4, 0])  # 5-cycle: never converges
+    with pytest.warns(NonConvergenceWarning) as caught:
+        result = jump_to_fixed_point(cycle, machine=machine)
+    # default path: a bare ndarray even on non-convergence
+    assert isinstance(result, np.ndarray) and result.shape == (5,)
+    (warning,) = caught.list
+    message = str(warning.message)
+    max_rounds = int(np.ceil(np.log2(5))) + 1
+    assert (
+        f"did not reach a fixed point within {max_rounds} rounds" in message
+    )
+    assert "the successor graph may contain cycles" in message
+    assert "pass return_converged=True to handle this without the warning" in message
+    # NonConvergenceWarning is a UserWarning, so default filters show it
+    assert issubclass(NonConvergenceWarning, UserWarning)
+
+    # converged default path: bare array, and NO warning
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error", NonConvergenceWarning)
+        roots = jump_to_fixed_point(np.array([0, 0, 1]), machine=machine)
+    assert isinstance(roots, np.ndarray)
+    assert roots.tolist() == [0, 0, 0]
+
+
+def test_jump_to_fixed_point_empty_input_short_circuits(machine):
+    bare = jump_to_fixed_point(np.array([], dtype=np.int64), machine=machine)
+    assert isinstance(bare, np.ndarray) and len(bare) == 0
+    ptrs, converged = jump_to_fixed_point(
+        np.array([], dtype=np.int64), machine=machine, return_converged=True
+    )
+    assert converged is True and len(ptrs) == 0
+
+
 def test_jump_to_fixed_point_round_budget_exhaustion(machine):
     # a deep chain with max_rounds too small: pointers are mid-flight, and
     # the caller must be able to tell that apart from convergence

@@ -204,6 +204,107 @@ def test_batch_member_expiring_in_open_window_is_shed_not_solved():
     assert batches == []  # nothing left to solve
 
 
+# ----------------------------------------------------------------------
+# regression pins: backpressure + shed ordering, shutdown drain races
+# (previously only exercised indirectly through SolveService)
+# ----------------------------------------------------------------------
+def test_blocked_put_admitted_after_inqueue_deadline_expiry():
+    """Backpressure + shed-on-deadline ordering: a put blocked on a full
+    queue must be admitted as soon as the occupying entry's deadline
+    elapses — and the shed callback must fire BEFORE the admission, so an
+    observer never sees capacity+1 live entries."""
+    import threading
+
+    events = []
+    q = IngressQueue(capacity=1, on_shed=lambda r: events.append(("shed", r.request_id)))
+    doomed = _request(seed=1, timeout=0.15)  # expires while occupying the queue
+    q.put(doomed, block=False)
+    fresh = _request(seed=2)
+
+    def blocked_put():
+        q.put(fresh)  # blocks: queue full until `doomed` expires
+        events.append(("admitted", fresh.request_id))
+
+    thread = threading.Thread(target=blocked_put)
+    start = time.monotonic()
+    thread.start()
+    thread.join(timeout=10)
+    assert not thread.is_alive(), "blocked put never admitted after expiry"
+    # ordering: shed first, then admission; and it happened at the expiry,
+    # not after some unrelated timeout
+    assert events == [("shed", doomed.request_id), ("admitted", fresh.request_id)]
+    assert 0.1 <= time.monotonic() - start < 5.0
+    assert q.shed_count == 1
+    taken = q.take(fresh.compat_key, 10)
+    assert [r.request_id for r in taken] == [fresh.request_id]
+
+
+def test_expired_entries_shed_in_insertion_order_and_skipped_by_claims():
+    shed = []
+    q = IngressQueue(capacity=8, on_shed=shed.append)
+    expired = [_request(seed=i, timeout=0.0, priority=5 - i) for i in range(3)]
+    live = [_request(seed=10 + i, priority=i) for i in range(2)]
+    for r in expired + live:
+        q.put(r, block=False)
+    key = live[0].compat_key
+    assert q.head_key(timeout=0) == key
+    taken = q.take(key, 10)
+    # claims see only live entries, in priority order; sheds report in
+    # insertion order regardless of priority
+    assert [r.request_id for r in taken] == [live[1].request_id, live[0].request_id]
+    assert [r.request_id for r in shed] == [r.request_id for r in expired]
+
+
+def test_empty_queue_drain_race_on_shutdown():
+    """Shutdown with an empty queue must not hang or dispatch anything:
+    close() + stop(flush=True) while the batcher idles in head_key."""
+    q = IngressQueue(capacity=4)
+    batches = []
+    batcher = MicroBatcher(q, batches.append, max_batch_size=4, poll_interval=10.0)
+    batcher.start()
+    time.sleep(0.1)  # batcher is parked inside head_key(timeout=10)
+    start = time.monotonic()
+    q.close()
+    batcher.stop(flush=True)  # flush on a closed empty queue: clean no-op
+    assert time.monotonic() - start < 5.0, "empty-queue drain hung on shutdown"
+    assert not batcher.running
+    assert batches == []
+    from repro.errors import ServiceShutdownError
+
+    with pytest.raises(ServiceShutdownError, match="closed"):
+        q.put(_request(seed=1), block=False)
+
+
+def test_service_shutdown_with_empty_queue_returns_promptly():
+    from repro.serving import SolveService
+
+    svc = SolveService(workers=1)
+    start = time.monotonic()
+    svc.shutdown(drain=True, timeout=10)  # nothing in flight: the drain
+    assert time.monotonic() - start < 5.0  # must observe inflight==0, not wait
+
+
+def test_drain_wakes_blocked_put():
+    import threading
+
+    q = IngressQueue(capacity=1)
+    q.put(_request(seed=1), block=False)
+    admitted = threading.Event()
+
+    def blocked_put():
+        q.put(_request(seed=2))
+        admitted.set()
+
+    thread = threading.Thread(target=blocked_put)
+    thread.start()
+    time.sleep(0.05)
+    drained = q.drain()  # empties the queue -> space -> blocked put admitted
+    assert len(drained) == 1
+    assert admitted.wait(timeout=5), "drain did not wake the blocked put"
+    thread.join(timeout=5)
+    assert len(q) == 1
+
+
 def test_batch_exposes_key_fields():
     q = IngressQueue(capacity=4)
     batches = []
