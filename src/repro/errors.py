@@ -143,3 +143,15 @@ class WireFormatError(ServiceError, ValueError):
 class ReplicaUnavailableError(ServiceError):
     """No replica of a :class:`~repro.serving.replicas.ReplicaSet` could
     accept a request (all ejected, draining, or rejecting)."""
+
+
+class FramingError(ServiceError):
+    """A length-prefixed binary frame violates the framed transport protocol.
+
+    Raised by :mod:`repro.serving.framing` for frames that cannot be
+    parsed structurally — truncated headers, oversized declared lengths,
+    unknown frame kinds.  Unlike :class:`WireFormatError` (a *payload* that
+    decoded but does not match the JSON wire schema), a framing error means
+    the byte stream itself is unusable, so the connection is dropped rather
+    than answered.
+    """

@@ -29,9 +29,20 @@ front end that *accepts traffic*.  This package turns
   (``POST /v1/solve`` single + batch, ``GET /v1/jobs/{id}``, ``/healthz``,
   ``/metrics``) with queue-full → 429 / draining → 503 / shed → 504 error
   mapping, plus the blocking :class:`HttpServiceClient`;
-* :mod:`~repro.serving.replicas` — :class:`ReplicaSet`: N in-process
-  service replicas behind one submission surface with compat-key-affine
-  (rendezvous) placement, least-loaded spill, and health-gated ejection.
+* :mod:`~repro.serving.replicas` — :class:`ReplicaSet`: N replicas behind
+  one submission surface with compat-key-affine (rendezvous) placement,
+  least-loaded spill, and health-gated ejection;
+* :mod:`~repro.serving.handles` — the replica seam: the
+  :class:`ReplicaHandle` protocol every slot satisfies, and
+  :class:`ProcessReplicaHandle`, its socket-backed implementation proxying
+  a replica in another OS process;
+* :mod:`~repro.serving.framing` — a length-prefixed binary framed
+  transport (same wire payloads, multiplexed over one connection with
+  server push and heartbeats) served next to HTTP on one sniffing port:
+  :class:`FramedIngress` / :class:`FramedServiceClient`;
+* :mod:`~repro.serving.supervisor` — :class:`ReplicaSupervisor`: replicas
+  as supervised OS processes — spawn, heartbeat-watch, crash-restart with
+  exponential backoff, and zero-lost-job re-homing of orphaned work.
 
 Quickstart
 ----------
@@ -55,12 +66,15 @@ self-contained load-generator demo and prints the metrics table;
 """
 
 from .batcher import Batch, BatcherStats, MicroBatcher
+from .framing import FramedIngress, FramedServiceClient
+from .handles import ProcessReplicaHandle, ReplicaHandle
 from .metrics import LatencyWindow, MetricsRecorder, ServiceMetrics
 from .queue import IngressQueue
 from .replicas import ReplicaSet
 from .requests import JobStatus, SolveRequest, SolveResponse
 from .service import SolveService
-from .transport import HttpIngress, HttpServiceClient
+from .supervisor import ReplicaSupervisor
+from .transport import HttpIngress, HttpServiceClient, ServiceClientBase
 from .workers import (
     BatchOutcome,
     ProcessWorkerPool,
@@ -89,6 +103,12 @@ __all__ = [
     "MetricsRecorder",
     "LatencyWindow",
     "ReplicaSet",
+    "ReplicaHandle",
+    "ProcessReplicaHandle",
+    "ReplicaSupervisor",
     "HttpIngress",
     "HttpServiceClient",
+    "ServiceClientBase",
+    "FramedIngress",
+    "FramedServiceClient",
 ]

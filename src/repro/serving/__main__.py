@@ -1,15 +1,22 @@
 """Command-line front end: ``python -m repro.serving`` / ``repro-serve``.
 
-Three modes:
+Four modes:
 
 * **Demo/smoke (default)** — runs a self-contained load-generator burst
   against a fresh :class:`~repro.serving.service.SolveService`, verifies
   every response against a direct single-instance solve, and prints the
   metrics table.
-* **HTTP server (``--http``)** — boots the stdlib asyncio HTTP ingress
-  (:mod:`repro.serving.transport`) in front of a ``SolveService`` (or a
-  :class:`~repro.serving.replicas.ReplicaSet` with ``--replicas N``) and
-  serves until interrupted, draining on shutdown.
+* **Server (``--http``)** — boots the protocol-sniffing ingress
+  (:mod:`repro.serving.framing`: framed and HTTP on one port) in front of
+  a ``SolveService``, a :class:`~repro.serving.replicas.ReplicaSet`
+  (``--replicas N``), or — with ``--processes`` — a
+  :class:`~repro.serving.supervisor.ReplicaSupervisor` running each
+  replica as its own OS process, and serves until interrupted, draining
+  on shutdown.
+* **Replica worker (``--replica-worker``)** — the child end of
+  ``--processes``: one service behind a framed ingress on an ephemeral
+  port, announced through ``--port-file``; drains and exits 0 on SIGTERM
+  or when its parent's stdin pipe closes.
 * **Wire load generator (``--connect URL``)** — fires the demo burst at an
   *already-running* server over HTTP, verifies responses against direct
   solves, and snapshots the server's ``/metrics`` document.
@@ -115,6 +122,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve a ReplicaSet of N services behind the ingress (default 1)",
     )
     net.add_argument(
+        "--processes", action="store_true",
+        help="run each replica as its own supervised OS process "
+             "(crash-restarted, jobs re-homed) instead of in-process",
+    )
+    net.add_argument(
+        "--heartbeat-interval", type=float, default=0.05, metavar="SECONDS",
+        help="replica wire-heartbeat period for --processes (default 0.05)",
+    )
+    net.add_argument(
+        "--supervisor-log", default=None, metavar="PATH",
+        help="append supervisor lifecycle events as JSON lines to PATH",
+    )
+    net.add_argument(
+        "--replica-worker", action="store_true",
+        help=argparse.SUPPRESS,  # internal: child end of --processes
+    )
+    net.add_argument(
         "--max-inflight", type=int, default=None,
         help="transport admission cap: pending requests beyond this get 429",
     )
@@ -126,11 +150,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_port_file(path, port) -> None:
+    port_dir = os.path.dirname(path)
+    if port_dir:
+        os.makedirs(port_dir, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"{port}\n")
+
+
 def serve_http(args, say) -> int:
     """``--http``: boot the ingress and serve until interrupted."""
+    from .framing import FramedIngress
     from .replicas import ReplicaSet
     from .service import SolveService
-    from .transport import HttpIngress
+    from .supervisor import ReplicaSupervisor
 
     service_kwargs = dict(
         workers=args.workers,
@@ -142,23 +175,30 @@ def serve_http(args, say) -> int:
         mode=args.mode,
         default_algorithm=args.algorithm,
     )
-    if args.replicas > 1:
+    if args.processes:
+        backend = ReplicaSupervisor(
+            max(1, args.replicas),
+            service_kwargs=service_kwargs,
+            seed=args.seed,
+            heartbeat_interval=args.heartbeat_interval,
+            event_log=args.supervisor_log,
+        ).start()
+        say(f"[repro.serving] replica supervisor: {backend.num_replicas} "
+            f"process(es) x {args.workers} {args.backend} worker(s)")
+    elif args.replicas > 1:
         backend = ReplicaSet(args.replicas, seed=args.seed, **service_kwargs)
         say(f"[repro.serving] replica set: {args.replicas} x {args.workers} "
             f"{args.backend} worker(s)")
     else:
         backend = SolveService(seed=args.seed, **service_kwargs)
-    ingress = HttpIngress(
+    ingress = FramedIngress(
         backend, host=args.host, port=args.port, max_inflight=args.max_inflight
     ).start_in_thread()
     say(f"[repro.serving] listening on {ingress.url} "
-        "(POST /v1/solve, GET /healthz, GET /metrics; Ctrl-C to drain and stop)")
+        "(HTTP + framed on one port; POST /v1/solve, GET /healthz, "
+        "GET /metrics; Ctrl-C to drain and stop)")
     if args.port_file:
-        port_dir = os.path.dirname(args.port_file)
-        if port_dir:
-            os.makedirs(port_dir, exist_ok=True)
-        with open(args.port_file, "w", encoding="utf-8") as fh:
-            fh.write(f"{ingress.port}\n")
+        _write_port_file(args.port_file, ingress.port)
     try:
         while True:
             time.sleep(3600)
@@ -168,6 +208,69 @@ def serve_http(args, say) -> int:
         backend.shutdown(drain=True)
         ingress.close()
     say("[repro.serving] stopped")
+    return 0
+
+
+def run_replica_worker(args, say) -> int:
+    """``--replica-worker``: one supervised replica process.
+
+    Serves a single :class:`SolveService` behind a framed ingress on the
+    requested (usually ephemeral) port, announces the port through
+    ``--port-file``, then waits.  Exits cleanly — drain, flush pending
+    pushes, shut down — on SIGTERM/SIGINT, or when stdin reaches EOF
+    (the supervisor holds the other end of that pipe, so EOF means the
+    parent died and the worker must not linger as an orphan).
+    """
+    import signal
+    import threading
+
+    from .framing import FramedIngress
+    from .service import SolveService
+
+    service = SolveService(
+        workers=args.workers,
+        backend=args.backend,
+        placement=args.placement,
+        max_batch_size=args.batch_size,
+        max_batch_delay=args.batch_delay_ms / 1e3,
+        queue_capacity=args.queue_capacity,
+        mode=args.mode,
+        default_algorithm=args.algorithm,
+        seed=args.seed,
+    )
+    ingress = FramedIngress(
+        service, host=args.host, port=args.port, max_inflight=args.max_inflight
+    ).start_in_thread()
+    if args.port_file:
+        _write_port_file(args.port_file, ingress.port)
+    say(f"[repro.serving] replica worker pid {os.getpid()} on {ingress.url}")
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+
+    def _watch_parent() -> None:
+        try:
+            while os.read(0, 4096):
+                pass
+        except OSError:
+            pass
+        stop.set()
+
+    if not sys.stdin.isatty():
+        threading.Thread(target=_watch_parent, daemon=True).start()
+
+    stop.wait()
+    say(f"[repro.serving] replica worker pid {os.getpid()} draining...")
+    service.drain()
+    # The futures just resolved; give the event loop a beat to write the
+    # corresponding PUSH frames before tearing the sockets down.
+    deadline = time.monotonic() + 5.0
+    while ingress.jobs.pending_count and time.monotonic() < deadline:
+        time.sleep(0.02)
+    time.sleep(0.05)
+    service.shutdown(drain=True)
+    ingress.close()
     return 0
 
 
@@ -224,6 +327,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("[repro.serving] --http and --connect are mutually exclusive",
               file=sys.stderr)
         return 2
+    if args.replica_worker:
+        return run_replica_worker(args, say)
     if args.http:
         return serve_http(args, say)
     if args.connect:

@@ -4,12 +4,17 @@
 with a synthetic but deterministic request stream (rotating workload
 families, mixed audited/unaudited traffic), optionally verifying every
 response against a direct single-instance
-:func:`repro.partition.coarsest_partition` call.  Two transports are
+:func:`repro.partition.coarsest_partition` call.  Three transports are
 supported: ``"inproc"`` fires the burst through the *asyncio* front end;
 ``"http"`` boots a loopback :class:`~repro.serving.transport.HttpIngress`
-around the same service and fires the burst over real sockets, so the
-``serving`` benchmark experiment (``BENCH_SERVING.json``) tracks the
-over-the-wire overhead next to the in-process numbers across PRs.
+around the same service and fires the burst over real sockets; and
+``"framed"`` boots the length-prefixed binary transport
+(:class:`~repro.serving.framing.FramedIngress`) over the same loopback.
+Orthogonally, ``replica_mode="process"`` swaps the in-process service
+for a :class:`~repro.serving.supervisor.ReplicaSupervisor` of
+socket-backed child processes, so the ``serving`` benchmark experiment
+(``BENCH_SERVING.json``) tracks the over-the-wire and cross-process
+overheads next to the in-process numbers across PRs.
 :func:`run_wire_load` drives an *already-running* server by URL (the
 ``repro-serve --connect`` load generator used by the CI transport smoke).
 """
@@ -32,7 +37,10 @@ from .requests import JobStatus, SolveResponse
 from .service import SolveService
 
 #: Transports :func:`run_load` can fire a burst through.
-TRANSPORTS = ("inproc", "http")
+TRANSPORTS = ("inproc", "http", "framed")
+
+#: Where the solver lives: in this process, or in supervised children.
+REPLICA_MODES = ("inproc", "process")
 
 #: Workload families the load generator rotates through.
 _FAMILIES = (
@@ -105,6 +113,8 @@ def run_load(
     audit_mix: bool = True,
     verify: bool = False,
     transport: str = "inproc",
+    replica_mode: str = "inproc",
+    replicas: int = 2,
     concurrency: int = 16,
 ) -> LoadReport:
     """Drive a fresh service with a synthetic burst and report the outcome.
@@ -115,12 +125,26 @@ def run_load(
     ``transport="inproc"`` the burst goes through the asyncio front end;
     with ``"http"`` a loopback :class:`~repro.serving.transport.HttpIngress`
     is booted around the service and the burst travels over real sockets
-    (``concurrency`` keep-alive client connections).  With ``verify``
-    every DONE response's labels are checked against a direct
-    ``coarsest_partition`` call with the same algorithm and audit flag.
+    (``concurrency`` keep-alive client connections); with ``"framed"``
+    the loopback server is a :class:`~repro.serving.framing.FramedIngress`
+    and the clients speak the length-prefixed binary protocol.  With
+    ``replica_mode="process"`` the backend is a
+    :class:`~repro.serving.supervisor.ReplicaSupervisor` of ``replicas``
+    child OS processes instead of one in-process service (requires a
+    socket transport — a process backend with no wire makes no sense).
+    With ``verify`` every DONE response's labels are checked against a
+    direct ``coarsest_partition`` call with the same algorithm and audit
+    flag.
     """
     if transport not in TRANSPORTS:
         raise ValueError(f"unknown transport {transport!r}; choose from {TRANSPORTS}")
+    if replica_mode not in REPLICA_MODES:
+        raise ValueError(
+            f"unknown replica_mode {replica_mode!r}; choose from {REPLICA_MODES}")
+    if replica_mode == "process" and transport == "inproc":
+        raise ValueError(
+            "replica_mode='process' needs a socket transport "
+            "('http' or 'framed'); there is no in-process path to a child")
     stream = generate_requests(requests, size, seed=seed, audit_mix=audit_mix)
     config: Dict[str, object] = {
         "workers": workers,
@@ -136,31 +160,61 @@ def run_load(
         "algorithm": algorithm,
         "audit_mix": audit_mix,
         "transport": transport,
+        "replica_mode": replica_mode,
     }
+    if replica_mode == "process":
+        config["replicas"] = replicas
 
-    service = SolveService(
-        workers=workers,
-        backend=backend,
-        placement=placement,
-        max_batch_size=max_batch_size,
-        max_batch_delay=max_batch_delay,
-        queue_capacity=queue_capacity,
-        mode=mode,
-        default_algorithm=algorithm,
-        seed=seed,
-    )
+    if replica_mode == "process":
+        from .supervisor import ReplicaSupervisor
+
+        service = ReplicaSupervisor(
+            replicas,
+            service_kwargs=dict(
+                workers=workers,
+                backend=backend,
+                placement=placement,
+                max_batch_size=max_batch_size,
+                max_batch_delay=max_batch_delay,
+                queue_capacity=queue_capacity,
+                mode=mode,
+                default_algorithm=algorithm,
+            ),
+            seed=seed,
+        ).start()
+    else:
+        service = SolveService(
+            workers=workers,
+            backend=backend,
+            placement=placement,
+            max_batch_size=max_batch_size,
+            max_batch_delay=max_batch_delay,
+            queue_capacity=queue_capacity,
+            mode=mode,
+            default_algorithm=algorithm,
+            seed=seed,
+        )
     ingress = None
+    client_factory = None
     try:
-        if transport == "http":
+        if transport != "inproc":
             # Boot the loopback server BEFORE the timer: the measured
             # window is the wire cost of the burst, not thread/event-loop
             # startup and teardown.
-            from .transport import HttpIngress
+            if transport == "framed":
+                from .framing import FramedIngress, FramedServiceClient
 
-            ingress = HttpIngress(service).start_in_thread()
+                ingress = FramedIngress(service).start_in_thread()
+                client_factory = FramedServiceClient
+            else:
+                from .transport import HttpIngress
+
+                ingress = HttpIngress(service).start_in_thread()
         start = time.perf_counter()
         if ingress is not None:
-            responses = _post_stream(ingress.url, stream, algorithm, concurrency)
+            responses = _post_stream(
+                ingress.url, stream, algorithm, concurrency,
+                client_factory=client_factory)
         else:
             responses = asyncio.run(_fire(service, stream, algorithm))
         service.drain()
@@ -219,17 +273,26 @@ def _post_stream(
     stream: Sequence[Tuple[np.ndarray, np.ndarray, bool]],
     algorithm: str,
     concurrency: int,
+    client_factory=None,
 ) -> List[SolveResponse]:
-    """Fire a burst at a running server, one keep-alive client per thread."""
+    """Fire a burst at a running server, one keep-alive client per thread.
+
+    ``client_factory`` picks the wire protocol (default
+    :class:`~repro.serving.transport.HttpServiceClient`; pass
+    :class:`~repro.serving.framing.FramedServiceClient` for the binary
+    framing); anything callable as ``factory(url)`` yielding a
+    ``ServiceClientBase`` works.
+    """
     from .transport import HttpServiceClient
 
+    factory = client_factory if client_factory is not None else HttpServiceClient
     local = threading.local()
-    clients: List[HttpServiceClient] = []
+    clients: List[object] = []
     clients_lock = threading.Lock()
 
-    def client() -> HttpServiceClient:
+    def client():
         if not hasattr(local, "client"):
-            local.client = HttpServiceClient(url)
+            local.client = factory(url)
             with clients_lock:
                 clients.append(local.client)
         return local.client
@@ -320,20 +383,26 @@ def run_serving_benchmark(
     backend: str = "thread",
     mode: str = "packed",
     transports: Sequence[str] = TRANSPORTS,
+    process_replicas: int = 2,
 ) -> List[Dict[str, object]]:
-    """Benchmark-registry runner: one row per (instance size, transport).
+    """Benchmark-registry runner: one row per (size, transport, replica mode).
 
     Rows carry both host-level service numbers (throughput, latency
     percentiles, occupancy) and the aggregate charged PRAM cost, so the
     ``BENCH_SERVING.json`` totals are regression-trackable like every
-    other experiment's.  The ``"http"`` transport rows fire the identical
-    burst through a loopback HTTP ingress, so the artifact tracks the
-    over-the-wire overhead (wall/latency delta at equal charged work)
-    across PRs.
+    other experiment's.  The ``"http"`` and ``"framed"`` transport rows
+    fire the identical burst through a loopback ingress, so the artifact
+    tracks the over-the-wire overhead (wall/latency delta at equal
+    charged work) across PRs; the ``replica_mode="process"`` rows add
+    the cross-process supervisor cells (``process_replicas`` child OS
+    processes behind the same socket transports), bounding what a crash
+    -isolated deployment pays over a single-process one.
     """
+    cells = [(t, "inproc") for t in transports]
+    cells += [(t, "process") for t in transports if t != "inproc"]
     rows: List[Dict[str, object]] = []
     for n in sizes:
-        for transport in transports:
+        for transport, replica_mode in cells:
             report = run_load(
                 workers=workers,
                 backend=backend,
@@ -344,12 +413,15 @@ def run_serving_benchmark(
                 size=int(n),
                 seed=seed,
                 transport=transport,
+                replica_mode=replica_mode,
+                replicas=process_replicas,
             )
             m = report.metrics
             rows.append(
                 {
                     "n": int(n),
                     "transport": transport,
+                    "replica_mode": replica_mode,
                     "workers": workers,
                     "requests": requests,
                     "completed": report.completed,

@@ -1,0 +1,402 @@
+"""The replica seam: one protocol, in-process and out-of-process handles.
+
+A *replica handle* is what :class:`~repro.serving.replicas.ReplicaSet`
+routes to — the ``submit_request`` / ``on_response`` / ``result`` /
+``accepting`` / ``inflight`` / ``queue_depth`` surface that
+:class:`~repro.serving.service.SolveService` has always exposed, named
+here as the explicit :class:`ReplicaHandle` protocol.  Three
+implementations exist:
+
+* :class:`~repro.serving.service.SolveService` itself — the in-process
+  handle (threads sharing one interpreter);
+* :class:`ProcessReplicaHandle` (this module) — a socket-backed proxy to
+  a replica running in *another process*, speaking the framed transport
+  of :mod:`repro.serving.framing`; health is routed on what the child
+  *advertises* through wire heartbeats, never on shared memory;
+* :class:`~repro.serving.supervisor.ReplicaSupervisor` — not a handle
+  per-replica but the owner of many ``ProcessReplicaHandle``\\ s: it
+  spawns ``repro-serve --replica-worker`` children, watches their
+  heartbeats, and restarts crashed ones with zero-lost-job re-homing.
+
+Because request ids come from one process-wide counter on the *parent*
+side, a ``ProcessReplicaHandle`` keeps the parent's id as the identity of
+each job: the child assigns its own internal id, and the handle rewrites
+``request_id`` on every pushed response before settling the parent-side
+future — so routing maps, job tables, and billing all see exactly the ids
+the submitter was given, no matter which process solved the work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+from ..errors import ServiceError, ServiceShutdownError
+from . import wire
+from .framing import FramedServiceClient
+from .metrics import ServiceMetrics
+from .requests import JobStatus, SolveRequest, SolveResponse
+
+#: An orphan is a job a dead replica accepted but never answered: the
+#: original request plus the still-unresolved parent-side future.
+Orphan = Tuple[SolveRequest, "Future[SolveResponse]"]
+
+
+@runtime_checkable
+class ReplicaHandle(Protocol):
+    """What a :class:`~repro.serving.replicas.ReplicaSet` routes to.
+
+    The protocol is exactly the submission/collection/observability
+    surface of :class:`~repro.serving.service.SolveService`; any object
+    satisfying it — in-process service, socket-backed process proxy — can
+    sit in a replica slot.  Handles may additionally expose ``live``,
+    ``restarts``, ``heartbeat_age`` and ``pid`` attributes; the set folds
+    those into its per-replica liveness rows when present (see
+    :func:`liveness_row`).
+    """
+
+    def submit_request(
+        self,
+        request: SolveRequest,
+        *,
+        block: bool = ...,
+        put_timeout: Optional[float] = ...,
+    ) -> int: ...
+
+    def result(self, request_id: int, timeout: Optional[float] = ...) -> SolveResponse: ...
+
+    def on_response(self, request_id: int, callback: Callable[[SolveResponse], None]) -> None: ...
+
+    @property
+    def accepting(self) -> bool: ...
+
+    @property
+    def inflight(self) -> int: ...
+
+    @property
+    def queue_depth(self) -> int: ...
+
+    def metrics(self) -> ServiceMetrics: ...
+
+    def drain(self, timeout: Optional[float] = ...) -> bool: ...
+
+    def shutdown(self, *, drain: bool = ..., timeout: Optional[float] = ...) -> None: ...
+
+
+def liveness_row(handle: Any) -> Dict[str, Any]:
+    """Supervisor-grade liveness facts a handle may advertise.
+
+    In-process handles have no process to die, so they read as always
+    live with zero restarts and no heartbeat (age ``None``).
+    """
+    live = getattr(handle, "live", None)
+    age = getattr(handle, "heartbeat_age", None)
+    row: Dict[str, Any] = {
+        "live": True if live is None else bool(live),
+        "restarts": int(getattr(handle, "restarts", 0) or 0),
+        "heartbeat_age_seconds": None if age is None else round(float(age), 4),
+    }
+    pid = getattr(handle, "pid", None)
+    if pid is not None:
+        row["pid"] = int(pid)
+    return row
+
+
+class ProcessReplicaHandle:
+    """Socket-backed :class:`ReplicaHandle` proxying a replica process.
+
+    The handle owns the parent side of every job it admits: a future per
+    request id, settled when the child pushes the solved wire response
+    over the framed connection.  Health is *advertised*, not inspected —
+    ``accepting``/``inflight``/``queue_depth`` reflect the child's latest
+    heartbeat, and a heartbeat older than ``stale_after`` seconds reads as
+    not-accepting, which is what health-gates a stalled child out of
+    placement before the supervisor even reacts.
+
+    When the connection dies (child crash, kill -9), every unanswered job
+    becomes an *orphan* handed to the ``on_death`` callback — the
+    supervisor re-homes them through the replica set, settling these same
+    futures, so callers blocked on ``result()`` or registered via
+    ``on_response()`` never observe the death.  Without an ``on_death``
+    callback, orphans settle as ``JobStatus.FAILED``.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        host: str,
+        port: int,
+        *,
+        heartbeat_interval: float = 0.05,
+        stale_after: Optional[float] = None,
+        request_timeout: float = 120.0,
+        on_death: Optional[Callable[["ProcessReplicaHandle", List[Orphan]], None]] = None,
+    ) -> None:
+        self.replica_id = int(replica_id)
+        #: Child process id; filled in by the supervisor after spawn.
+        self.pid: Optional[int] = None
+        #: Times this replica slot has been restarted (supervisor-owned).
+        self.restarts = 0
+        #: Supervisor hook replacing :meth:`shutdown`'s default behaviour.
+        self.terminate: Optional[Callable[..., None]] = None
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.stale_after = (
+            float(stale_after) if stale_after is not None
+            else max(1.0, 20.0 * self.heartbeat_interval)
+        )
+        self._on_death = on_death
+        self._lock = threading.Lock()
+        self._futures: Dict[int, "Future[SolveResponse]"] = {}
+        self._pending: Dict[int, SolveRequest] = {}
+        self._dead = False
+        self._heartbeat: Optional[Dict[str, Any]] = None
+        self._heartbeat_at: Optional[float] = None
+        self._connected_at = time.monotonic()
+        self._client = FramedServiceClient(
+            f"{host}:{port}", timeout=request_timeout, on_close=self._connection_lost
+        )
+        try:
+            self._client.start_heartbeats(self.heartbeat_interval, self._on_heartbeat)
+        except BaseException:
+            self._client.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # submission / collection (the ReplicaHandle surface)
+    # ------------------------------------------------------------------
+    def submit_request(
+        self,
+        request: SolveRequest,
+        *,
+        block: bool = False,
+        put_timeout: Optional[float] = None,
+    ) -> int:
+        # Remote admission is always non-blocking: backpressure comes back
+        # as a queue-full rejection instead of a blocked socket, so the
+        # block/put_timeout knobs of the in-process handle do not apply.
+        del block, put_timeout
+        request_id = request.request_id
+        future: "Future[SolveResponse]" = Future()
+
+        def _deliver(status: int, document: Any) -> None:
+            del status  # the wire response's own JobStatus is authoritative
+            try:
+                response = wire.decode_response(document)
+                response.request_id = request_id  # child ids stay child-side
+            except Exception as exc:  # noqa: BLE001 — never lose the future
+                response = SolveResponse(
+                    request_id=request_id,
+                    status=JobStatus.FAILED,
+                    algorithm=request.algorithm,
+                    error=f"undecodable pushed response: {exc}",
+                )
+            self._settle(request_id, response)
+
+        with self._lock:
+            if self._dead:
+                raise ServiceShutdownError(
+                    f"replica {self.replica_id} process is down; submit rejected"
+                )
+            self._futures[request_id] = future
+            self._pending[request_id] = request
+        try:
+            self._client.submit_push(wire.encode_request(request), _deliver)
+        except (ConnectionError, OSError) as exc:
+            with self._lock:
+                self._futures.pop(request_id, None)
+                self._pending.pop(request_id, None)
+            raise ServiceShutdownError(
+                f"replica {self.replica_id} connection lost: {exc}"
+            ) from exc
+        except BaseException:
+            with self._lock:
+                self._futures.pop(request_id, None)
+                self._pending.pop(request_id, None)
+            raise
+        return request_id
+
+    def result(self, request_id: int, timeout: Optional[float] = None) -> SolveResponse:
+        with self._lock:
+            future = self._futures.get(request_id)
+        if future is None:
+            raise KeyError(f"unknown or already-collected request id {request_id}")
+        response = future.result(timeout=timeout)
+        with self._lock:
+            self._futures.pop(request_id, None)
+        return response
+
+    def on_response(self, request_id: int, callback: Callable[[SolveResponse], None]) -> None:
+        with self._lock:
+            future = self._futures.get(request_id)
+        if future is None:
+            raise KeyError(f"unknown or already-collected request id {request_id}")
+
+        def _deliver(done: "Future[SolveResponse]") -> None:
+            with self._lock:
+                self._futures.pop(request_id, None)
+            callback(done.result())
+
+        future.add_done_callback(_deliver)
+
+    def _settle(self, request_id: int, response: SolveResponse) -> None:
+        with self._lock:
+            self._pending.pop(request_id, None)
+            future = self._futures.get(request_id)
+        if future is not None and not future.done():
+            future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # advertised health
+    # ------------------------------------------------------------------
+    def _on_heartbeat(self, document: Dict[str, Any]) -> None:
+        try:
+            beat = wire.decode_heartbeat(document)
+        except ServiceError:
+            return
+        with self._lock:
+            self._heartbeat = beat
+            self._heartbeat_at = time.monotonic()
+
+    @property
+    def live(self) -> bool:
+        """True while the framed connection to the child is up."""
+        with self._lock:
+            return not self._dead
+
+    @property
+    def heartbeat_age(self) -> float:
+        """Seconds since the last heartbeat (since connect if none yet)."""
+        with self._lock:
+            at = self._heartbeat_at if self._heartbeat_at is not None else self._connected_at
+        return max(0.0, time.monotonic() - at)
+
+    @property
+    def accepting(self) -> bool:
+        with self._lock:
+            if self._dead:
+                return False
+            beat, at = self._heartbeat, self._heartbeat_at
+        if beat is None:
+            # Between connect and the first beat the child is presumed
+            # willing — it just bound its port and asked for traffic.
+            return time.monotonic() - self._connected_at <= self.stale_after
+        if time.monotonic() - at > self.stale_after:
+            return False  # stalled child: health-gate it out of placement
+        return bool(beat["accepting"])
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            local = len(self._pending)
+            beat = None if self._dead else self._heartbeat
+        advertised = int(beat["inflight"]) if beat else 0
+        # The child's advertised count lags by up to one heartbeat; the
+        # parent-side pending count never lags admissions, so take the max.
+        return max(local, advertised)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            beat = None if self._dead else self._heartbeat
+        return int(beat["queue_depth"]) if beat else 0
+
+    # ------------------------------------------------------------------
+    # death / orphan hand-off
+    # ------------------------------------------------------------------
+    def _connection_lost(self) -> None:
+        self._abandon(notify=True)
+
+    def mark_lost(self) -> None:
+        """Force death handling (supervisor: child exited, socket stuck)."""
+        self._client.close()
+        self._abandon(notify=True)
+
+    def _abandon(self, *, notify: bool) -> None:
+        with self._lock:
+            if self._dead:
+                return
+            self._dead = True
+            orphans: List[Orphan] = [
+                (request, self._futures[request_id])
+                for request_id, request in self._pending.items()
+                if request_id in self._futures
+            ]
+            self._pending.clear()
+        if notify and self._on_death is not None:
+            self._on_death(self, orphans)
+            return
+        for request, future in orphans:
+            if not future.done():
+                future.set_result(SolveResponse(
+                    request_id=request.request_id,
+                    status=JobStatus.FAILED,
+                    algorithm=request.algorithm,
+                    error=f"replica {self.replica_id} process died before answering",
+                ))
+
+    # ------------------------------------------------------------------
+    # observability / lifecycle
+    # ------------------------------------------------------------------
+    def metrics(self) -> ServiceMetrics:
+        """Child metrics snapshot: live RPC, else the last heartbeat's."""
+        if self.live:
+            try:
+                body = self._client.metrics()
+                return ServiceMetrics.from_dict(body["metrics"])
+            except (ServiceError, ConnectionError, OSError, KeyError, TypeError):
+                pass
+        with self._lock:
+            beat = self._heartbeat
+        if beat and isinstance(beat.get("metrics"), dict):
+            return ServiceMetrics.from_dict(beat["metrics"])
+        return ServiceMetrics.empty()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Remote drain: the child stops admission and finishes its work."""
+        if not self.live:
+            with self._lock:
+                return not self._pending
+        try:
+            body = self._client.drain(timeout)
+            return bool(body.get("drained"))
+        except (ServiceError, ConnectionError, OSError):
+            return False
+
+    def shutdown(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the replica.  Under a supervisor, ``terminate`` owns the
+        child's lifecycle (SIGTERM-drain / SIGKILL); standalone handles
+        drain remotely and close the connection."""
+        if self.terminate is not None:
+            self.terminate(drain=drain, timeout=timeout)
+            return
+        if drain and self.live:
+            self.drain(timeout)
+        self.close()
+
+    def close(self) -> None:
+        """Drop the connection; unanswered jobs settle as CANCELLED."""
+        with self._lock:
+            self._dead = True
+            leftovers: List[Orphan] = [
+                (request, self._futures[request_id])
+                for request_id, request in self._pending.items()
+                if request_id in self._futures
+            ]
+            self._pending.clear()
+        self._client.close()
+        for request, future in leftovers:
+            if not future.done():
+                future.set_result(SolveResponse(
+                    request_id=request.request_id,
+                    status=JobStatus.CANCELLED,
+                    algorithm=request.algorithm,
+                    error="replica handle closed without draining",
+                ))
+
+    def __enter__(self) -> "ProcessReplicaHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

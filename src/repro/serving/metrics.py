@@ -73,6 +73,9 @@ class ServiceMetrics:
     max_occupancy: int
     pram: CostSummary = field(default_factory=CostSummary)
     workers: List[Dict[str, object]] = field(default_factory=list)
+    #: Per-replica liveness rows (a replica set fills these in): replica id,
+    #: live flag, restart count, heartbeat age, inflight.
+    replicas: List[Dict[str, object]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable view (metrics artifacts, CI upload)."""
@@ -102,7 +105,66 @@ class ServiceMetrics:
                 "charged_work": self.pram.charged_work,
             },
             "workers": self.workers,
+            "replicas": self.replicas,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ServiceMetrics":
+        """Rebuild a snapshot from :meth:`as_dict` output (wire round-trip).
+
+        Tolerant of missing keys so a remote replica running an older
+        snapshot shape still yields a usable (zero-filled) object.
+        """
+        latency = payload.get("latency_ms") or {}
+        pram = payload.get("pram") or {}
+        if not isinstance(latency, dict):
+            latency = {}
+        if not isinstance(pram, dict):
+            pram = {}
+
+        def _num(key: str, source: Dict[str, object] = payload) -> float:
+            value = source.get(key, 0)
+            return float(value) if isinstance(value, (int, float)) else 0.0
+
+        workers = payload.get("workers")
+        replicas = payload.get("replicas")
+        return cls(
+            uptime_seconds=_num("uptime_seconds"),
+            submitted=int(_num("submitted")),
+            completed=int(_num("completed")),
+            failed=int(_num("failed")),
+            shed=int(_num("shed")),
+            rejected=int(_num("rejected")),
+            queue_depth=int(_num("queue_depth")),
+            inflight=int(_num("inflight")),
+            throughput_rps=_num("throughput_rps"),
+            latency_p50_ms=_num("p50", latency),
+            latency_p95_ms=_num("p95", latency),
+            latency_p99_ms=_num("p99", latency),
+            latency_mean_ms=_num("mean", latency),
+            batches=int(_num("batches")),
+            multi_request_batches=int(_num("multi_request_batches")),
+            mean_occupancy=_num("mean_occupancy"),
+            max_occupancy=int(_num("max_occupancy")),
+            pram=CostSummary(
+                time=int(_num("time", pram)),
+                work=int(_num("work", pram)),
+                charged_work=int(_num("charged_work", pram)),
+            ),
+            workers=list(workers) if isinstance(workers, list) else [],
+            replicas=list(replicas) if isinstance(replicas, list) else [],
+        )
+
+    @classmethod
+    def empty(cls) -> "ServiceMetrics":
+        """All-zero snapshot (stand-in for an unreachable replica)."""
+        return cls(
+            uptime_seconds=0.0, submitted=0, completed=0, failed=0, shed=0,
+            rejected=0, queue_depth=0, inflight=0, throughput_rps=0.0,
+            latency_p50_ms=0.0, latency_p95_ms=0.0, latency_p99_ms=0.0,
+            latency_mean_ms=0.0, batches=0, multi_request_batches=0,
+            mean_occupancy=0.0, max_occupancy=0,
+        )
 
     def as_prometheus(self, *, prefix: str = "repro_serving") -> str:
         """Prometheus text exposition of the snapshot (``GET /metrics``).
@@ -143,6 +205,27 @@ class ServiceMetrics:
         for name, value in gauges.items():
             lines.append(f"# TYPE {prefix}_{name} gauge")
             lines.append(f"{prefix}_{name}{tag} {float(value):g}")
+        if self.replicas:
+            lines.append(f"# TYPE {prefix}_replica_live gauge")
+            lines.append(f"# TYPE {prefix}_replica_restarts_total counter")
+            lines.append(f"# TYPE {prefix}_replica_heartbeat_age_seconds gauge")
+            lines.append(f"# TYPE {prefix}_replica_inflight gauge")
+            for row in self.replicas:
+                label = f'{{replica="{row.get("replica", "?")}"}}'
+                lines.append(
+                    f"{prefix}_replica_live{label} {1 if row.get('live', True) else 0}"
+                )
+                lines.append(
+                    f"{prefix}_replica_restarts_total{label} {int(row.get('restarts', 0) or 0)}"
+                )
+                age = row.get("heartbeat_age_seconds")
+                if age is not None:
+                    lines.append(
+                        f"{prefix}_replica_heartbeat_age_seconds{label} {float(age):g}"
+                    )
+                lines.append(
+                    f"{prefix}_replica_inflight{label} {int(row.get('inflight', 0) or 0)}"
+                )
         return "\n".join(lines) + "\n"
 
     def as_rows(self) -> List[Dict[str, object]]:
@@ -151,6 +234,7 @@ class ServiceMetrics:
         latency = flat.pop("latency_ms")
         pram = flat.pop("pram")
         flat.pop("workers")
+        flat.pop("replicas")
         flat.update({f"latency_{k}_ms": v for k, v in latency.items()})
         flat.update({f"pram_{k}": v for k, v in pram.items()})
         return [{"metric": k, "value": v} for k, v in flat.items()]

@@ -1,10 +1,18 @@
 """Replicated shards behind one client-facing endpoint.
 
-A :class:`ReplicaSet` runs N in-process :class:`~repro.serving.service.SolveService`
-replicas and routes every admitted request to exactly one of them, behind
-the same ``submit_request`` / ``result`` / ``on_response`` surface a single
-service exposes — so a transport (and the conformance suite) can sit in
-front of either without caring which it got.
+A :class:`ReplicaSet` runs N replicas and routes every admitted request to
+exactly one of them, behind the same ``submit_request`` / ``result`` /
+``on_response`` surface a single service exposes — so a transport (and the
+conformance suite) can sit in front of either without caring which it got.
+
+Each slot holds a :class:`~repro.serving.handles.ReplicaHandle` — an
+in-process :class:`~repro.serving.service.SolveService` by default, or a
+:class:`~repro.serving.handles.ProcessReplicaHandle` proxying a replica in
+another process (that is what :class:`~repro.serving.supervisor.ReplicaSupervisor`
+installs).  Placement reads only the handle's *advertised* health —
+``accepting`` / ``inflight`` / ``queue_depth`` — which for process
+replicas comes from wire heartbeats, so the routing logic is identical
+whether the replica shares this interpreter or lives across a socket.
 
 Routing-aware admission
 -----------------------
@@ -45,6 +53,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..errors import QueueFullError, ReplicaUnavailableError, ServiceError, ServiceShutdownError
 from ..types import CostSummary
+from .handles import ReplicaHandle, liveness_row
 from .metrics import ServiceMetrics
 from .requests import SolveRequest, SolveResponse
 from .service import SolveService
@@ -55,7 +64,7 @@ class _Replica:
     """One shard plus its routing state (guarded by the set's lock)."""
 
     replica_id: int
-    service: SolveService
+    service: ReplicaHandle
     healthy: bool = True
     ejected: bool = False
     routed: int = 0                #: requests this replica admitted
@@ -70,6 +79,7 @@ class _Replica:
             "inflight": self.service.inflight,
             "queue_depth": self.service.queue_depth,
             "routed": self.routed,
+            **liveness_row(self.service),
         }
 
 
@@ -81,9 +91,10 @@ class ReplicaSet:
     replicas:
         Number of replicas (>= 1).
     service_factory:
-        ``callable(replica_id) -> SolveService`` building each replica;
+        ``callable(replica_id) -> ReplicaHandle`` building each replica;
         when omitted, replicas are ``SolveService(**service_kwargs)`` with
         ``seed`` offset per replica so worker RNG streams stay disjoint.
+        A supervisor passes a factory yielding process-backed handles.
     spill_inflight:
         In-flight threshold beyond which the preferred (affinity) replica
         is considered hot and the request spills to the least-loaded one;
@@ -99,7 +110,7 @@ class ReplicaSet:
         self,
         replicas: int = 3,
         *,
-        service_factory: Optional[Callable[[int], SolveService]] = None,
+        service_factory: Optional[Callable[[int], ReplicaHandle]] = None,
         spill_inflight: Optional[int] = None,
         auto_eject_after: int = 3,
         seed: int = 0,
@@ -318,14 +329,32 @@ class ReplicaSet:
             )
         return self._replicas[replica_id]
 
+    def replace_handle(self, replica_id: int, handle: ReplicaHandle) -> None:
+        """Install a fresh handle in slot ``replica_id`` (replica restarted).
+
+        The slot gets a *new* ``_Replica`` object rather than mutating the
+        old one in place: existing routes reference the old ``_Replica``,
+        whose old handle still owns their futures (re-homing settles them),
+        so in-flight collection keeps working while new admissions flow to
+        the replacement.  The routed counter carries over so operator rows
+        stay cumulative per slot.
+        """
+        old = self._replica(replica_id)
+        with self._lock:
+            old.ejected = True
+            self._replicas[replica_id] = _Replica(
+                replica_id, handle, routed=old.routed
+            )
+
     def replica_rows(self) -> List[Dict[str, object]]:
         """Routing/health view, one row per replica (admin endpoint).
 
         Deliberately NOT under the set lock: ``as_row`` reads per-service
         state whose locks the shed-callback chain holds while waiting for
         the set lock (see :meth:`_placement_order`'s lock-order invariant).
-        The replica list is immutable and the flag reads are atomic, so
-        the rows are a consistent-enough advisory snapshot.
+        The replica list never changes length (``replace_handle`` swaps a
+        slot atomically) and the flag reads are atomic, so the rows are a
+        consistent-enough advisory snapshot.
         """
         return [r.as_row() for r in self._replicas]
 
@@ -356,9 +385,18 @@ class ReplicaSet:
         ledger, queue depth, in-flight) are summed; latency percentiles are
         the *worst* replica's (a conservative service-level view — exact
         cross-replica percentiles would need the raw windows); occupancy is
-        request-weighted.
+        request-weighted.  A replica whose process is unreachable
+        contributes an all-zero snapshot instead of failing the scrape.
         """
-        snaps = [r.service.metrics() for r in self._replicas]
+        replicas = list(self._replicas)
+
+        def _snap(replica: _Replica) -> ServiceMetrics:
+            try:
+                return replica.service.metrics()
+            except Exception:  # noqa: BLE001 — dead process must not break /metrics
+                return ServiceMetrics.empty()
+
+        snaps = [_snap(r) for r in replicas]
         batches = sum(s.batches for s in snaps)
         requests = sum(s.batches * s.mean_occupancy for s in snaps)
         return ServiceMetrics(
@@ -386,8 +424,16 @@ class ReplicaSet:
             ),
             workers=[
                 {**row, "replica": replica.replica_id}
-                for replica, snap in zip(self._replicas, snaps)
+                for replica, snap in zip(replicas, snaps)
                 for row in snap.workers
+            ],
+            replicas=[
+                {
+                    "replica": replica.replica_id,
+                    "inflight": snap.inflight,
+                    **liveness_row(replica.service),
+                }
+                for replica, snap in zip(replicas, snaps)
             ],
         )
 

@@ -46,6 +46,13 @@ from .workers import BatchOutcome, create_worker_pool
 class SolveService:
     """Async micro-batching SFCP solving service with sharded workers.
 
+    A ``SolveService`` is also the *in-process* implementation of the
+    :class:`~repro.serving.handles.ReplicaHandle` protocol — the
+    submission/collection surface a :class:`~repro.serving.replicas.ReplicaSet`
+    routes to.  Its socket-backed sibling,
+    :class:`~repro.serving.handles.ProcessReplicaHandle`, proxies the same
+    surface to a service running in another process.
+
     Parameters
     ----------
     workers:
@@ -214,6 +221,14 @@ class SolveService:
         """True while :meth:`submit` admits new requests (not draining)."""
         with self._lock:
             return self._accepting
+
+    @property
+    def live(self) -> bool:
+        """True until :meth:`shutdown`.  An in-process replica has no
+        separate process to die, so liveness and admission only diverge
+        while draining (``live`` and not ``accepting``)."""
+        with self._lock:
+            return not self._closed
 
     @property
     def inflight(self) -> int:

@@ -1,0 +1,623 @@
+"""Multi-process replica supervisor: spawn, watch, re-home, restart.
+
+A :class:`ReplicaSupervisor` owns N ``repro-serve --replica-worker``
+child processes — each a full :class:`~repro.serving.service.SolveService`
+behind a :class:`~repro.serving.framing.FramedIngress` on a loopback port —
+and presents them to a transport as one backend with exactly the
+:class:`~repro.serving.replicas.ReplicaSet` surface (it *is* a replica set
+whose slots hold :class:`~repro.serving.handles.ProcessReplicaHandle`\\ s).
+
+What the supervisor adds over the set is a *lifecycle*:
+
+* **Spawn** — children are started with disjoint seed blocks and announce
+  their ephemeral port through a port file; the parent connects a framed
+  client and subscribes to wire heartbeats.
+* **Watch** — a monitor thread runs three detectors: a dead framed
+  connection (crash, ``kill -9``) surfaces instantly through the client's
+  reader thread; an exited process whose socket lingers is force-detected
+  via ``poll()``; a child that is *alive but silent* past
+  ``heartbeat_timeout`` is killed so it re-enters the crash path.  In all
+  three cases routing has already health-gated the replica out: a stale
+  heartbeat reads as not-accepting before the supervisor reacts.
+* **Re-home** — every job the dead child had accepted but not answered is
+  resubmitted through the set to a surviving replica, and the *original*
+  parent-side future is settled when the new replica answers.  Callers
+  never observe the death: no job is lost and none is billed twice,
+  because re-homing reuses the same request (same id) and the dead child's
+  answer can no longer arrive.
+* **Restart** — crashed children are respawned with exponential backoff
+  (``restart_backoff * 2**(restarts-1)``, capped), up to ``max_restarts``
+  per slot; a slot that keeps dying is given up rather than allowed to
+  flap forever.  The replacement handle is installed with
+  :meth:`~repro.serving.replicas.ReplicaSet.replace_handle`, so in-flight
+  collection through the old slot keeps working.
+
+Every transition is recorded as a structured event (``spawn``, ``death``,
+``rehome``, ``restart_scheduled``, ``restarted``, ``heartbeat_stall``,
+``gave_up``, ``shutdown``) — queryable via :meth:`events` and optionally
+appended as JSON lines to ``event_log`` for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ServiceError, ServiceShutdownError
+from .handles import Orphan, ProcessReplicaHandle
+from .metrics import ServiceMetrics
+from .replicas import ReplicaSet
+from .requests import JobStatus, SolveRequest, SolveResponse
+
+#: service_kwargs key -> the ``repro-serve`` flag that carries it to a child.
+_KWARG_FLAGS: Dict[str, str] = {
+    "workers": "--workers",
+    "backend": "--backend",
+    "placement": "--placement",
+    "max_batch_size": "--batch-size",
+    "max_batch_delay": "--batch-delay-ms",   # seconds -> ms at encode time
+    "queue_capacity": "--queue-capacity",
+    "mode": "--mode",
+    "default_algorithm": "--algorithm",
+}
+
+
+def _worker_argv(service_kwargs: Dict[str, Any]) -> List[str]:
+    """Translate SolveService kwargs into ``--replica-worker`` CLI flags."""
+    argv: List[str] = []
+    for key, value in service_kwargs.items():
+        flag = _KWARG_FLAGS.get(key)
+        if flag is None:
+            raise ValueError(
+                f"service kwarg {key!r} has no --replica-worker flag; "
+                f"supported: {sorted(_KWARG_FLAGS)}"
+            )
+        if key == "max_batch_delay":
+            value = float(value) * 1e3
+        argv.extend([flag, str(value)])
+    return argv
+
+
+@dataclass
+class _Slot:
+    """One replica slot's process-lifecycle state (guarded by the lock)."""
+
+    replica_id: int
+    proc: Optional[subprocess.Popen] = None
+    handle: Optional[ProcessReplicaHandle] = None
+    restarts: int = 0
+    restart_at: Optional[float] = None   #: monotonic instant of the next respawn
+    gave_up: bool = False
+    spawned: int = field(default=0)      #: total spawns (port-file nonce)
+
+
+class ReplicaSupervisor:
+    """N replica processes behind the :class:`ReplicaSet` backend surface.
+
+    Parameters mirror the set's where they overlap; the rest govern the
+    process lifecycle.  ``service_kwargs`` is forwarded to each child's
+    ``SolveService`` via CLI flags; ``seed`` offsets per replica exactly as
+    the in-process default factory does, so a process deployment draws the
+    same RANDOM-winner streams as its in-process twin.
+    """
+
+    def __init__(
+        self,
+        replicas: int = 3,
+        *,
+        service_kwargs: Optional[Dict[str, Any]] = None,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        heartbeat_interval: float = 0.05,
+        heartbeat_timeout: Optional[float] = None,
+        restart_backoff: float = 0.25,
+        restart_backoff_cap: float = 5.0,
+        max_restarts: int = 5,
+        spill_inflight: Optional[int] = None,
+        auto_eject_after: int = 3,
+        spawn_timeout: float = 30.0,
+        shutdown_timeout: float = 30.0,
+        event_log: Optional[str] = None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("a ReplicaSupervisor needs at least one replica")
+        self.num_slots = int(replicas)
+        self.service_kwargs = dict(service_kwargs or {})
+        _worker_argv(self.service_kwargs)  # validate keys before any spawn
+        self.seed = int(seed)
+        self.host = host
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = (
+            float(heartbeat_timeout) if heartbeat_timeout is not None
+            else max(1.0, 20.0 * self.heartbeat_interval)
+        )
+        self.restart_backoff = float(restart_backoff)
+        self.restart_backoff_cap = float(restart_backoff_cap)
+        self.max_restarts = int(max_restarts)
+        self.spill_inflight = spill_inflight
+        self.auto_eject_after = int(auto_eject_after)
+        self.spawn_timeout = float(spawn_timeout)
+        self.shutdown_timeout = float(shutdown_timeout)
+        self._lock = threading.RLock()
+        self._slots = [_Slot(i) for i in range(self.num_slots)]
+        self._set: Optional[ReplicaSet] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._closing = False
+        self._started = False
+        self._events: List[Dict[str, Any]] = []
+        self._event_log_path = event_log
+        self._event_log = None
+        #: Orphans no survivor would take — re-homed after the next restart.
+        self._parked: List[tuple] = []
+        self._tmpdir = tempfile.mkdtemp(prefix="repro-replicas-")
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def _record(self, event: str, replica_id: Optional[int] = None, **fields: Any) -> None:
+        entry: Dict[str, Any] = {"ts": round(time.time(), 4), "event": event}
+        if replica_id is not None:
+            entry["replica"] = int(replica_id)
+        entry.update(fields)
+        with self._lock:
+            self._events.append(entry)
+            if self._event_log is not None:
+                self._event_log.write(json.dumps(entry) + "\n")
+                self._event_log.flush()
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Snapshot of every lifecycle event so far (oldest first)."""
+        with self._lock:
+            return [dict(e) for e in self._events]
+
+    # ------------------------------------------------------------------
+    # spawning
+    # ------------------------------------------------------------------
+    def _child_env(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        # The child must import the same `repro` this parent runs, even
+        # when the parent was launched via a src-layout checkout.
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_dir if not existing else src_dir + os.pathsep + existing
+        return env
+
+    def _spawn_child(self, slot: _Slot) -> ProcessReplicaHandle:
+        """Start one worker process and connect its framed handle."""
+        slot.spawned += 1
+        port_file = os.path.join(
+            self._tmpdir, f"replica-{slot.replica_id}-{slot.spawned}.port"
+        )
+        argv = [
+            sys.executable, "-m", "repro.serving",
+            "--replica-worker", "--quiet",
+            "--host", self.host, "--port", "0",
+            "--port-file", port_file,
+            "--seed", str(self.seed + 1000 * slot.replica_id),
+            *_worker_argv(self.service_kwargs),
+        ]
+        proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,   # child exits on EOF if this parent dies
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=self._child_env(),
+        )
+        deadline = time.monotonic() + self.spawn_timeout
+        port: Optional[int] = None
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                self._reap(proc)
+                raise ServiceError(
+                    f"replica {slot.replica_id} worker exited with code "
+                    f"{proc.returncode} before announcing its port"
+                )
+            try:
+                with open(port_file, "r", encoding="utf-8") as fh:
+                    text = fh.read().strip()
+                if text:
+                    port = int(text)
+                    break
+            except (FileNotFoundError, ValueError):
+                pass
+            time.sleep(0.01)
+        if port is None:
+            proc.kill()
+            self._reap(proc)
+            raise ServiceError(
+                f"replica {slot.replica_id} worker did not announce a port "
+                f"within {self.spawn_timeout}s"
+            )
+        try:
+            handle = ProcessReplicaHandle(
+                slot.replica_id, self.host, port,
+                heartbeat_interval=self.heartbeat_interval,
+                stale_after=self.heartbeat_timeout,
+                on_death=self._child_connection_lost,
+            )
+        except BaseException:
+            proc.kill()
+            self._reap(proc)
+            raise
+        handle.pid = proc.pid
+        handle.restarts = slot.restarts
+        slot.proc = proc
+        slot.handle = handle
+        self._record("spawn", slot.replica_id, pid=proc.pid, port=port,
+                     restarts=slot.restarts)
+        return handle
+
+    @staticmethod
+    def _reap(proc: subprocess.Popen) -> None:
+        """Collect a child's exit status and release its pipe."""
+        if proc.stdin is not None:
+            try:
+                proc.stdin.close()
+            except OSError:
+                pass
+        try:
+            proc.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+    def start(self) -> "ReplicaSupervisor":
+        """Spawn every replica, build the routing set, start the monitor."""
+        with self._lock:
+            if self._started:
+                raise ServiceError("supervisor already started")
+            self._started = True
+            if self._event_log_path:
+                log_dir = os.path.dirname(self._event_log_path)
+                if log_dir:
+                    os.makedirs(log_dir, exist_ok=True)
+                self._event_log = open(self._event_log_path, "a", encoding="utf-8")
+        try:
+            for slot in self._slots:
+                self._spawn_child(slot)
+        except BaseException:
+            self._kill_all()
+            self._cleanup()
+            raise
+        handles = {slot.replica_id: slot.handle for slot in self._slots}
+        self._set = ReplicaSet(
+            self.num_slots,
+            service_factory=lambda i: handles[i],
+            spill_inflight=self.spill_inflight,
+            auto_eject_after=self.auto_eject_after,
+        )
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-replica-supervisor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    # ------------------------------------------------------------------
+    # death handling / re-homing
+    # ------------------------------------------------------------------
+    def _child_connection_lost(
+        self, handle: ProcessReplicaHandle, orphans: List[Orphan]
+    ) -> None:
+        """Framed connection to a child dropped (crash, kill, stall-kill)."""
+        with self._lock:
+            closing = self._closing
+            slot = self._slots[handle.replica_id]
+            current = slot.handle is handle
+        if closing or not current:
+            # Shutdown in progress, or a superseded handle's late death:
+            # nothing to restart, just settle whatever it still carried.
+            self._fail_orphans(orphans, JobStatus.CANCELLED,
+                               "replica shut down before answering")
+            return
+        self._handle_death(slot, handle, orphans)
+
+    def _handle_death(
+        self, slot: _Slot, handle: ProcessReplicaHandle, orphans: List[Orphan]
+    ) -> None:
+        proc = slot.proc
+        exit_code = None
+        if proc is not None:
+            self._reap(proc)
+            exit_code = proc.returncode
+        self._record("death", slot.replica_id, pid=handle.pid,
+                     exit_code=exit_code, orphans=len(orphans))
+        for request, future in orphans:
+            self._rehome(slot.replica_id, request, future)
+        with self._lock:
+            slot.proc = None
+            slot.restarts += 1
+            if slot.restarts > self.max_restarts:
+                slot.gave_up = True
+                slot.restart_at = None
+                self._record("gave_up", slot.replica_id, restarts=slot.restarts - 1)
+                return
+            delay = min(
+                self.restart_backoff_cap,
+                self.restart_backoff * (2 ** (slot.restarts - 1)),
+            )
+            slot.restart_at = time.monotonic() + delay
+        self._record("restart_scheduled", slot.replica_id,
+                     delay=round(delay, 4), attempt=slot.restarts)
+
+    def _rehome(
+        self, from_replica: int, request: SolveRequest, future: "Any"
+    ) -> None:
+        """Resubmit one orphaned job to a surviving replica.
+
+        The job is submitted to the surviving handle *directly*, not
+        through the set: callers are already blocked on (or subscribed
+        to) the dead slot's future via the set's routing table, so the
+        route must keep pointing there — the new replica's answer chains
+        back into that original future.  The job keeps its request id, so
+        the submitter sees exactly one answer under its own id no matter
+        how many replicas die beneath it.
+
+        When no survivor accepts (single-replica deployment, total
+        outage), the orphan is *parked* and re-homed to the next restarted
+        child — it only fails once every slot has given up.
+        """
+        def _settle(response: SolveResponse) -> None:
+            if not future.done():
+                future.set_result(response)
+
+        with self._lock:
+            candidates = [
+                slot.handle for slot in self._slots
+                if slot.handle is not None and slot.handle.live
+            ]
+        candidates = [h for h in candidates if h.accepting]
+        candidates.sort(key=lambda h: (h.inflight, h.replica_id))
+        last_error: Optional[ServiceError] = None
+        for handle in candidates:
+            try:
+                handle.submit_request(request, block=False)
+            except ServiceError as exc:
+                last_error = exc
+                continue
+            handle.on_response(request.request_id, _settle)
+            self._record("rehome", from_replica, request_id=request.request_id,
+                         ok=True, to=handle.replica_id)
+            return
+        with self._lock:
+            restart_coming = not self._closing and any(
+                not slot.gave_up for slot in self._slots
+            )
+            if restart_coming:
+                self._parked.append((from_replica, request, future))
+        if restart_coming:
+            self._record("rehome_parked", from_replica,
+                         request_id=request.request_id)
+            return
+        self._record("rehome", from_replica, request_id=request.request_id,
+                     ok=False, error=str(last_error) if last_error else "no survivors")
+        _settle(SolveResponse(
+            request_id=request.request_id,
+            status=JobStatus.FAILED,
+            algorithm=request.algorithm,
+            error="replica died and no surviving replica accepted the job"
+                  + (f": {last_error}" if last_error else ""),
+        ))
+
+    def _fail_orphans(
+        self, orphans: List[Orphan], status: JobStatus, message: str
+    ) -> None:
+        for request, future in orphans:
+            if not future.done():
+                future.set_result(SolveResponse(
+                    request_id=request.request_id,
+                    status=status,
+                    algorithm=request.algorithm,
+                    error=message,
+                ))
+
+    # ------------------------------------------------------------------
+    # monitor
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        tick = max(0.01, self.heartbeat_interval / 2.0)
+        while not self._stop.wait(tick):
+            now = time.monotonic()
+            for slot in self._slots:
+                with self._lock:
+                    if self._closing:
+                        return
+                    handle, proc = slot.handle, slot.proc
+                    due = (
+                        not slot.gave_up
+                        and slot.restart_at is not None
+                        and now >= slot.restart_at
+                    )
+                if due:
+                    self._restart(slot)
+                    continue
+                if handle is None:
+                    continue
+                if proc is not None and proc.poll() is not None and handle.live:
+                    # The process is gone but its socket has not signalled
+                    # yet (e.g. a forked grandchild holds the fd open).
+                    handle.mark_lost()
+                elif (
+                    handle.live
+                    and proc is not None
+                    and proc.poll() is None
+                    and handle.heartbeat_age > self.heartbeat_timeout
+                ):
+                    # Alive but silent: kill it so the crash path (death ->
+                    # re-home -> restart) takes over.  Routing already
+                    # stopped placing work here when the heartbeat staled.
+                    self._record("heartbeat_stall", slot.replica_id, pid=handle.pid,
+                                 age=round(handle.heartbeat_age, 4))
+                    proc.kill()
+
+    def _restart(self, slot: _Slot) -> None:
+        with self._lock:
+            if self._closing or slot.gave_up:
+                return
+            slot.restart_at = None
+        try:
+            handle = self._spawn_child(slot)
+        except ServiceError as exc:
+            with self._lock:
+                slot.restarts += 1
+                if slot.restarts > self.max_restarts:
+                    slot.gave_up = True
+                    self._record("gave_up", slot.replica_id, restarts=slot.restarts - 1)
+                    return
+                delay = min(
+                    self.restart_backoff_cap,
+                    self.restart_backoff * (2 ** (slot.restarts - 1)),
+                )
+                slot.restart_at = time.monotonic() + delay
+            self._record("restart_scheduled", slot.replica_id,
+                         delay=round(delay, 4), attempt=slot.restarts,
+                         error=str(exc))
+            return
+        assert self._set is not None
+        self._set.replace_handle(slot.replica_id, handle)
+        self._set.restore(slot.replica_id)
+        self._record("restarted", slot.replica_id, pid=handle.pid)
+        with self._lock:
+            parked, self._parked = self._parked, []
+        for from_replica, request, future in parked:
+            self._rehome(from_replica, request, future)
+
+    # ------------------------------------------------------------------
+    # the backend surface (delegation to the set)
+    # ------------------------------------------------------------------
+    def _require_set(self) -> ReplicaSet:
+        if self._set is None:
+            raise ServiceShutdownError("supervisor not started")
+        return self._set
+
+    def submit_request(self, request: SolveRequest, *, block: bool = False,
+                       put_timeout: Optional[float] = None) -> int:
+        return self._require_set().submit_request(
+            request, block=block, put_timeout=put_timeout
+        )
+
+    def result(self, request_id: int, timeout: Optional[float] = None) -> SolveResponse:
+        return self._require_set().result(request_id, timeout=timeout)
+
+    def on_response(self, request_id: int, callback) -> None:
+        self._require_set().on_response(request_id, callback)
+
+    def solve(self, function, initial_labels, *, timeout=None, **submit_kwargs) -> SolveResponse:
+        return self._require_set().solve(
+            function, initial_labels, timeout=timeout, **submit_kwargs
+        )
+
+    @property
+    def accepting(self) -> bool:
+        return self._set is not None and not self._closing and self._set.accepting
+
+    @property
+    def inflight(self) -> int:
+        return 0 if self._set is None else self._set.inflight
+
+    @property
+    def queue_depth(self) -> int:
+        return 0 if self._set is None else self._set.queue_depth
+
+    @property
+    def num_replicas(self) -> int:
+        return self.num_slots
+
+    def metrics(self) -> ServiceMetrics:
+        return self._require_set().metrics()
+
+    def replica_rows(self) -> List[Dict[str, object]]:
+        return self._require_set().replica_rows()
+
+    def eject(self, replica_id: int, *, drain: bool = True) -> None:
+        self._require_set().eject(replica_id, drain=drain)
+
+    def restore(self, replica_id: int) -> None:
+        self._require_set().restore(replica_id)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        return self._require_set().drain(timeout)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _kill_all(self) -> None:
+        for slot in self._slots:
+            if slot.proc is not None and slot.proc.poll() is None:
+                slot.proc.kill()
+            if slot.proc is not None:
+                self._reap(slot.proc)
+
+    def shutdown(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop every child — SIGTERM-drain by default, SIGKILL otherwise.
+
+        A SIGTERM'd worker stops admission, flushes its queue through its
+        batcher, pushes every pending answer over the framed connection,
+        and exits 0 — so a draining shutdown loses nothing.  The monitor
+        is stopped *first* so no restart races the teardown.
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        budget = self.shutdown_timeout if timeout is None else float(timeout)
+        deadline = time.monotonic() + budget
+        for slot in self._slots:
+            proc = slot.proc
+            if proc is None or proc.poll() is not None:
+                continue
+            if drain:
+                proc.send_signal(signal.SIGTERM)
+            else:
+                proc.kill()
+        for slot in self._slots:
+            proc = slot.proc
+            if proc is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+            self._reap(proc)
+            self._record("child_exit", slot.replica_id, pid=proc.pid,
+                         exit_code=proc.returncode)
+        for slot in self._slots:
+            if slot.handle is not None:
+                slot.handle.close()
+        with self._lock:
+            parked, self._parked = self._parked, []
+        self._fail_orphans(
+            [(request, future) for _, request, future in parked],
+            JobStatus.CANCELLED, "supervisor shut down before the job could be re-homed",
+        )
+        self._record("shutdown", drained=bool(drain))
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        with self._lock:
+            log = self._event_log
+            self._event_log = None
+        if log is not None:
+            log.close()
+        shutil.rmtree(self._tmpdir, ignore_errors=True)
+
+    def __enter__(self) -> "ReplicaSupervisor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)

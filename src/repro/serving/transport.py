@@ -17,6 +17,7 @@ loopback (or any) interface, speaking the versioned JSON wire schemas of
 ``GET /v1/replicas``                  replica routing/health table
 ``POST /v1/replicas/{id}/eject``      force a replica out of placement
 ``POST /v1/replicas/{id}/restore``    return it to placement
+``POST /v1/drain``                    stop admission, wait for in-flight work
 ====================================  =======================================
 
 Error mapping is structural, not ad hoc: every failure becomes a
@@ -39,10 +40,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
@@ -358,21 +361,28 @@ class HttpIngress:
                 return self._replicas()
             if path.startswith("/v1/replicas/") and method == "POST":
                 return self._replica_action(path[len("/v1/replicas/"):], body)
+            if path == "/v1/drain" and method == "POST":
+                return await self._drain_backend(body)
             return self._error("not_found", f"no route for {method} {split.path}")
-        except WireFormatError as exc:
-            return self._error("bad_request", str(exc))
-        except InvalidInstanceError as exc:
-            return self._error("invalid_instance", str(exc))
-        except QueueFullError as exc:
-            return self._error("queue_full", str(exc))
-        except ReplicaUnavailableError as exc:
-            return self._error("replica_unavailable", str(exc))
-        except ServiceShutdownError as exc:
-            return self._error("shutting_down", str(exc))
-        except KeyError as exc:
-            return self._error("not_found", str(exc.args[0]) if exc.args else "not found")
         except Exception as exc:  # noqa: BLE001 — the wire must answer, not hang up
-            return self._error("internal", f"{type(exc).__name__}: {exc}")
+            return self._map_exception(exc)
+
+    def _map_exception(self, exc: BaseException) -> Tuple[int, Any, Dict[str, str]]:
+        """Structural exception → wire error mapping, shared by every
+        transport flavour (HTTP dispatch, framed dispatch, push admission)."""
+        if isinstance(exc, WireFormatError):
+            return self._error("bad_request", str(exc))
+        if isinstance(exc, InvalidInstanceError):
+            return self._error("invalid_instance", str(exc))
+        if isinstance(exc, QueueFullError):
+            return self._error("queue_full", str(exc))
+        if isinstance(exc, ReplicaUnavailableError):
+            return self._error("replica_unavailable", str(exc))
+        if isinstance(exc, ServiceShutdownError):
+            return self._error("shutting_down", str(exc))
+        if isinstance(exc, KeyError):
+            return self._error("not_found", str(exc.args[0]) if exc.args else "not found")
+        return self._error("internal", f"{type(exc).__name__}: {exc}")
 
     def _error(self, code: str, message: str) -> Tuple[int, Any, Dict[str, str]]:
         retry_after = RETRY_AFTER_SECONDS.get(code)
@@ -561,87 +571,123 @@ class HttpIngress:
         return 200, {"schema": wire.WIRE_SCHEMA, "version": wire.WIRE_VERSION,
                      "replicas": self.backend.replica_rows()}, {}
 
+    async def _drain_backend(self, body: bytes) -> Tuple[int, Any, Dict[str, str]]:
+        """``POST /v1/drain``: operator-initiated drain of the backend.
+
+        Stops admission and waits (up to the optional ``timeout`` in the
+        body) for in-flight work to finish — the remote half of
+        ``SolveService.drain``, which is what a supervisor's
+        :class:`~repro.serving.handles.ProcessReplicaHandle` calls to eject
+        a child replica without losing its accepted jobs.
+        """
+        options: Any = {}
+        if body.strip():
+            try:
+                options = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise WireFormatError(f"drain body is not valid JSON: {exc}") from exc
+        if not isinstance(options, dict):
+            raise WireFormatError("drain body must be a JSON object")
+        timeout = options.get("timeout")
+        if timeout is not None and (
+            isinstance(timeout, bool) or not isinstance(timeout, (int, float)) or timeout < 0
+        ):
+            raise WireFormatError(f"field 'timeout' must be a number >= 0, got {timeout!r}")
+        loop = asyncio.get_running_loop()
+        # drain() blocks on worker completion — keep it off the event loop.
+        drained = await loop.run_in_executor(None, lambda: self.backend.drain(timeout))
+        return 200, {
+            "schema": wire.WIRE_SCHEMA, "version": wire.WIRE_VERSION,
+            "drained": bool(drained),
+            "accepting": bool(self.backend.accepting),
+            "inflight": int(self.backend.inflight),
+            "queue_depth": int(self.backend.queue_depth),
+        }, {}
+
 
 # ----------------------------------------------------------------------
-# blocking client (tests, CLI load generator, over-the-wire bench cells)
+# blocking clients (tests, CLI load generator, over-the-wire bench cells)
 # ----------------------------------------------------------------------
-class HttpServiceClient:
-    """Minimal stdlib HTTP client speaking the serving wire schema.
+class ServiceClientBase:
+    """Transport-agnostic half of the blocking service clients.
 
-    One client holds one keep-alive connection (reconnecting transparently
-    if the server closed it), so a pool of clients models a pool of
-    sockets.  Error bodies are mapped back onto the same exceptions the
-    in-process facade raises: queue-full/inflight caps →
-    :class:`~repro.errors.QueueFullError`, draining →
-    :class:`~repro.errors.ServiceShutdownError`, schema violations →
-    :class:`~repro.errors.WireFormatError`; single-request answers that
-    carry a full wire response (200/500/503/504) decode to a
-    :class:`SolveResponse` whose ``status`` says what happened.
+    Subclasses provide :meth:`request` (one round trip returning
+    ``(status, headers, decoded body)``) and :meth:`close`; everything
+    else — endpoint helpers, error mapping, and the opt-in 429 retry
+    policy — lives here, so the HTTP client and the framed client expose
+    the exact same surface over different byte streams.
+
+    Busy retries (off by default: ``busy_retries=0``) honor the server's
+    ``Retry-After`` hint on 429 answers with capped exponential backoff
+    and multiplicative jitter: attempt *k* sleeps
+    ``min(cap, hint * 2**k) * (1 + U[0, jitter])``, capped again at
+    ``busy_backoff_cap``.  Only whole-request admission rejections are
+    retried — raw :meth:`request` calls never retry, so callers counting
+    429s (or asserting immediate backpressure) see the wire as-is.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 120.0) -> None:
-        import http.client
-
-        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
-        if split.scheme not in ("", "http"):
-            raise ValueError(f"only http:// endpoints are supported, got {base_url!r}")
-        self.host = split.hostname or "127.0.0.1"
-        self.port = split.port or 80
+    def __init__(
+        self,
+        *,
+        timeout: float = 120.0,
+        busy_retries: int = 0,
+        busy_backoff_base: float = 0.1,
+        busy_backoff_cap: float = 30.0,
+        busy_jitter: float = 0.25,
+        _sleep: Callable[[float], None] = time.sleep,
+        _rng: Optional[random.Random] = None,
+    ) -> None:
         self.timeout = timeout
-        self._conn: Optional[http.client.HTTPConnection] = None
+        self.busy_retries = int(busy_retries)
+        self.busy_backoff_base = float(busy_backoff_base)
+        self.busy_backoff_cap = float(busy_backoff_cap)
+        self.busy_jitter = float(busy_jitter)
+        self._sleep = _sleep
+        self._rng = _rng if _rng is not None else random.Random()
 
-    # -- plumbing ------------------------------------------------------
-    def _connection(self):
-        import http.client
-
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-        return self._conn
-
+    # -- transport hooks -----------------------------------------------
     def request(
         self, method: str, path: str, payload: Any = None
     ) -> Tuple[int, Dict[str, str], Any]:
         """One round trip; returns ``(status, headers, decoded body)``."""
-        import http.client
-
-        body = None if payload is None else json.dumps(payload).encode("utf-8")
-        headers = {"Content-Type": "application/json"} if body else {}
-        # Only idempotent methods are retried on a dropped connection: a
-        # POST /v1/solve may already have been admitted (and billed) by the
-        # time the connection dies, so re-sending it would double-submit.
-        retriable = method == "GET"
-        for attempt in (0, 1):
-            conn = self._connection()
-            try:
-                conn.request(method, path, body=body, headers=headers)
-                raw = conn.getresponse()
-            except (http.client.RemoteDisconnected, ConnectionResetError, BrokenPipeError):
-                # Stale keep-alive connection: reconnect once (GET only).
-                self.close()
-                if attempt or not retriable:
-                    raise
-                continue
-            data = raw.read()
-            response_headers = {k.lower(): v for k, v in raw.getheaders()}
-            if raw.headers.get("Connection", "").lower() == "close":
-                self.close()
-            content_type = response_headers.get("content-type", "")
-            decoded: Any = data.decode("utf-8", errors="replace")
-            if "json" in content_type and data:
-                decoded = json.loads(decoded)
-            return raw.status, response_headers, decoded
-        raise RuntimeError("unreachable")
+        raise NotImplementedError
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        raise NotImplementedError
 
-    def __enter__(self) -> "HttpServiceClient":
-        return self
+    # -- busy-retry policy ---------------------------------------------
+    @staticmethod
+    def _retry_after_hint(headers: Dict[str, str], document: Any) -> Optional[float]:
+        value = headers.get("retry-after")
+        if value is not None:
+            try:
+                return float(value)
+            except ValueError:
+                pass
+        error = document.get("error") if isinstance(document, dict) else None
+        if isinstance(error, dict):
+            seconds = error.get("retry_after_seconds")
+            if isinstance(seconds, (int, float)) and not isinstance(seconds, bool):
+                return float(seconds)
+        return None
 
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+    def _busy_delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        base = retry_after if retry_after is not None and retry_after > 0 else self.busy_backoff_base
+        delay = min(self.busy_backoff_cap, base * (2 ** attempt))
+        if self.busy_jitter > 0:
+            delay *= 1.0 + self._rng.random() * self.busy_jitter
+        return min(self.busy_backoff_cap, delay)
+
+    def _send_with_retry(
+        self, send: Callable[[], Tuple[int, Dict[str, str], Any]]
+    ) -> Tuple[int, Dict[str, str], Any]:
+        attempt = 0
+        while True:
+            status, headers, body = send()
+            if status != 429 or attempt >= self.busy_retries:
+                return status, headers, body
+            self._sleep(self._busy_delay(attempt, self._retry_after_hint(headers, body)))
+            attempt += 1
 
     # -- error mapping -------------------------------------------------
     @staticmethod
@@ -659,6 +705,12 @@ class HttpServiceClient:
         if code == "not_found":
             raise KeyError(message)
         raise ServiceError(f"{code}: {message}")
+
+    def __enter__(self) -> "ServiceClientBase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- endpoints -----------------------------------------------------
     def solve(
@@ -690,7 +742,9 @@ class HttpServiceClient:
             document["timeout"] = timeout
         if params:
             document["params"] = params
-        status, _, body = self.request("POST", "/v1/solve", document)
+        status, _, body = self._send_with_retry(
+            lambda: self.request("POST", "/v1/solve", document)
+        )
         if isinstance(body, dict) and "request_id" in body and "cost" in body:
             return wire.decode_response(body)
         self._raise_for_error(status, body)
@@ -698,14 +752,18 @@ class HttpServiceClient:
 
     def submit(self, document: Dict[str, Any]) -> int:
         """Non-blocking single submission (``?wait=false``); returns the job id."""
-        status, _, body = self.request("POST", "/v1/solve?wait=false", document)
+        status, _, body = self._send_with_retry(
+            lambda: self.request("POST", "/v1/solve?wait=false", document)
+        )
         if status != 202:
             self._raise_for_error(status, body)
         return int(body["request_id"])
 
     def solve_batch(self, documents: List[Dict[str, Any]]) -> Dict[str, Any]:
         """Blocking batch solve; returns the raw batch document."""
-        status, _, body = self.request("POST", "/v1/solve", {"requests": documents})
+        status, _, body = self._send_with_retry(
+            lambda: self.request("POST", "/v1/solve", {"requests": documents})
+        )
         if status != 200:
             self._raise_for_error(status, body)
         return body
@@ -759,3 +817,87 @@ class HttpServiceClient:
         if status != 200:
             self._raise_for_error(status, body)
         return body["replicas"]
+
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """``POST /v1/drain``: stop admission and wait for in-flight work."""
+        payload = {} if timeout is None else {"timeout": timeout}
+        status, _, body = self.request("POST", "/v1/drain", payload)
+        if status != 200:
+            self._raise_for_error(status, body)
+        return body
+
+
+class HttpServiceClient(ServiceClientBase):
+    """Minimal stdlib HTTP client speaking the serving wire schema.
+
+    One client holds one keep-alive connection (reconnecting transparently
+    if the server closed it), so a pool of clients models a pool of
+    sockets.  Error bodies are mapped back onto the same exceptions the
+    in-process facade raises: queue-full/inflight caps →
+    :class:`~repro.errors.QueueFullError`, draining →
+    :class:`~repro.errors.ServiceShutdownError`, schema violations →
+    :class:`~repro.errors.WireFormatError`; single-request answers that
+    carry a full wire response (200/500/503/504) decode to a
+    :class:`SolveResponse` whose ``status`` says what happened.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 120.0, **base_kwargs) -> None:
+        import http.client
+
+        super().__init__(timeout=timeout, **base_kwargs)
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"only http:// endpoints are supported, got {base_url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------
+    def _connection(self):
+        import http.client
+
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def request(
+        self, method: str, path: str, payload: Any = None
+    ) -> Tuple[int, Dict[str, str], Any]:
+        """One round trip; returns ``(status, headers, decoded body)``."""
+        import http.client
+
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        # Only idempotent methods are retried on a dropped connection: a
+        # POST /v1/solve may already have been admitted (and billed) by the
+        # time the connection dies, so re-sending it would double-submit.
+        retriable = method == "GET"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                raw = conn.getresponse()
+            except (http.client.RemoteDisconnected, ConnectionResetError, BrokenPipeError):
+                # Stale keep-alive connection: reconnect once (GET only).
+                self.close()
+                if attempt or not retriable:
+                    raise
+                continue
+            data = raw.read()
+            response_headers = {k.lower(): v for k, v in raw.getheaders()}
+            if raw.headers.get("Connection", "").lower() == "close":
+                self.close()
+            content_type = response_headers.get("content-type", "")
+            decoded: Any = data.decode("utf-8", errors="replace")
+            if "json" in content_type and data:
+                decoded = json.loads(decoded)
+            return raw.status, response_headers, decoded
+        raise RuntimeError("unreachable")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "HttpServiceClient":
+        return self

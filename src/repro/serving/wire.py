@@ -390,3 +390,74 @@ def job_document(request_id: int, status: JobStatus, response: Optional[SolveRes
     if response is not None:
         doc["response"] = encode_response(response)
     return doc
+
+
+# ----------------------------------------------------------------------
+# heartbeats
+# ----------------------------------------------------------------------
+def heartbeat_document(
+    *,
+    sequence: int,
+    interval: float,
+    accepting: bool,
+    inflight: int,
+    queue_depth: int,
+    metrics: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One liveness beat a replica pushes over the framed transport.
+
+    Routing decisions in a multi-process deployment are made on what a
+    replica *advertises* here — ``accepting``, ``inflight`` and
+    ``queue_depth`` — never on shared-memory inspection, so the document
+    carries everything placement needs plus an optional full metrics
+    snapshot for observability.
+    """
+    doc: Dict[str, Any] = {
+        "schema": WIRE_SCHEMA,
+        "version": WIRE_VERSION,
+        "kind": "heartbeat",
+        "sequence": int(sequence),
+        "interval": float(interval),
+        "accepting": bool(accepting),
+        "inflight": int(inflight),
+        "queue_depth": int(queue_depth),
+    }
+    if metrics is not None:
+        doc["metrics"] = metrics
+    return doc
+
+
+def decode_heartbeat(payload: Any) -> Dict[str, Any]:
+    """Validate a heartbeat document; returns it with coerced field types."""
+    obj = _require_object(payload, "heartbeat")
+    _check_version(obj, "heartbeat")
+    if obj.get("kind") != "heartbeat":
+        raise WireFormatError(
+            f"heartbeat document carries kind {obj.get('kind')!r}; expected 'heartbeat'"
+        )
+    for field in ("sequence", "accepting", "inflight", "queue_depth"):
+        if field not in obj:
+            raise WireFormatError(f"heartbeat is missing field {field!r}")
+    if not isinstance(obj["accepting"], bool):
+        raise WireFormatError(
+            f"heartbeat field 'accepting' must be a boolean, got {obj['accepting']!r}"
+        )
+    for field in ("sequence", "inflight", "queue_depth"):
+        value = obj[field]
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise WireFormatError(
+                f"heartbeat field {field!r} must be a non-negative integer, got {value!r}"
+            )
+    metrics = obj.get("metrics")
+    if metrics is not None and not isinstance(metrics, Mapping):
+        raise WireFormatError(
+            f"heartbeat field 'metrics' must be an object, got {type(metrics).__name__}"
+        )
+    return {
+        "sequence": int(obj["sequence"]),
+        "interval": float(obj.get("interval", 0.0) or 0.0),
+        "accepting": bool(obj["accepting"]),
+        "inflight": int(obj["inflight"]),
+        "queue_depth": int(obj["queue_depth"]),
+        "metrics": None if metrics is None else dict(metrics),
+    }

@@ -27,6 +27,7 @@ placement.  Use the process backend when host-level throughput matters.
 from __future__ import annotations
 
 import hashlib
+import os
 import queue as _queue_mod
 import threading
 import time
@@ -65,6 +66,9 @@ class WorkerStats:
     def as_row(self) -> Dict[str, object]:
         return {
             "worker": self.worker_id,
+            # The serving process's pid: with process replicas, worker rows
+            # from different replicas disambiguate by which child they ran in.
+            "pid": os.getpid(),
             "batches": self.batches,
             "instances": self.instances,
             "busy_seconds": round(self.busy_seconds, 4),

@@ -1,0 +1,168 @@
+"""Unit tests for the client-side 429 busy-retry policy (fake clock).
+
+:class:`~repro.serving.transport.ServiceClientBase` owns the policy; a
+scripted subclass replays canned wire answers so the schedule — which
+attempt sleeps how long, honoring ``Retry-After`` hints, capped and
+jittered — is asserted deterministically, with an injected sleep
+recorder instead of a real clock and a seeded RNG instead of real
+jitter.  No sockets, no servers, no time.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.serving import ServiceClientBase
+
+
+def _busy(retry_after=None, *, in_header=False):
+    """One scripted 429 answer, with the hint in the header or the body."""
+    headers = {}
+    error = {"code": "queue_full", "message": "busy"}
+    if retry_after is not None:
+        if in_header:
+            headers["retry-after"] = str(retry_after)
+        else:
+            error["retry_after_seconds"] = retry_after
+    return 429, headers, {"error": error}
+
+
+def _accepted(request_id=7):
+    return 202, {}, {"request_id": request_id, "status": "queued"}
+
+
+class ScriptedClient(ServiceClientBase):
+    """Replays a canned answer per request; records every round trip."""
+
+    def __init__(self, script, **kwargs):
+        super().__init__(**kwargs)
+        self.script = list(script)
+        self.calls = 0
+
+    def request(self, method, path, payload=None):
+        self.calls += 1
+        if not self.script:
+            pytest.fail("client sent more requests than the script allows")
+        return self.script.pop(0)
+
+    def close(self):
+        pass
+
+
+class FakeClock:
+    def __init__(self):
+        self.sleeps = []
+
+    def __call__(self, seconds):
+        self.sleeps.append(round(seconds, 6))
+
+
+_DOC = {"function": [1, 0], "labels": [0, 0]}
+
+
+def test_retries_are_off_by_default_and_raw_429_raises_immediately():
+    clock = FakeClock()
+    client = ScriptedClient([_busy(0.5)], _sleep=clock)
+    with pytest.raises(QueueFullError):
+        client.submit(_DOC)
+    assert client.calls == 1      # exactly one round trip: no silent retry
+    assert clock.sleeps == []     # and no sleeping on the caller's thread
+
+
+def test_retry_schedule_honors_retry_after_with_exponential_backoff():
+    clock = FakeClock()
+    client = ScriptedClient(
+        [
+            _busy(0.5, in_header=True),   # attempt 0: header hint
+            _busy(1.0),                   # attempt 1: body hint
+            _busy(),                      # attempt 2: no hint -> base
+            _accepted(),
+        ],
+        busy_retries=3,
+        busy_backoff_base=0.1,
+        busy_jitter=0.0,
+        _sleep=clock,
+    )
+    assert client.submit(_DOC) == 7
+    assert client.calls == 4
+    # attempt k sleeps hint * 2**k (base when the server gave no hint)
+    assert clock.sleeps == [0.5, 2.0, 0.4]
+
+
+def test_retry_budget_exhausted_surfaces_the_last_429():
+    clock = FakeClock()
+    client = ScriptedClient(
+        [_busy(0.1), _busy(0.1), _busy(0.1)],
+        busy_retries=2,
+        busy_jitter=0.0,
+        _sleep=clock,
+    )
+    with pytest.raises(QueueFullError):
+        client.submit(_DOC)
+    assert client.calls == 3          # initial + 2 retries, then give up
+    assert clock.sleeps == [0.1, 0.2]
+
+
+def test_backoff_is_capped_even_with_a_huge_server_hint():
+    clock = FakeClock()
+    client = ScriptedClient(
+        [_busy(3600.0), _accepted()],
+        busy_retries=1,
+        busy_backoff_cap=2.5,
+        busy_jitter=0.0,
+        _sleep=clock,
+    )
+    client.submit(_DOC)
+    assert clock.sleeps == [2.5]
+
+
+def test_jitter_is_multiplicative_bounded_and_deterministic_under_seed():
+    clock = FakeClock()
+    rng = random.Random(42)
+    expected = 0.5 * (1.0 + random.Random(42).random() * 0.25)
+    client = ScriptedClient(
+        [_busy(0.5), _accepted()],
+        busy_retries=1,
+        busy_jitter=0.25,
+        _sleep=clock,
+        _rng=rng,
+    )
+    client.submit(_DOC)
+    assert clock.sleeps == [round(expected, 6)]
+    assert 0.5 <= clock.sleeps[0] <= 0.5 * 1.25
+
+
+def test_only_429_retries_other_statuses_pass_through_unretried():
+    clock = FakeClock()
+    client = ScriptedClient(
+        [(503, {}, {"error": {"code": "shutting_down", "message": "bye"}})],
+        busy_retries=5,
+        _sleep=clock,
+    )
+    from repro.errors import ServiceShutdownError
+
+    with pytest.raises(ServiceShutdownError):
+        client.submit(_DOC)
+    assert client.calls == 1 and clock.sleeps == []
+
+
+def test_solve_and_solve_batch_share_the_retry_policy():
+    clock = FakeClock()
+    done = {
+        "schema": "repro.serving.wire", "version": 1, "request_id": 1,
+        "status": "done", "algorithm": "jaja-ryu", "labels": [0, 0],
+        "num_blocks": 1,
+        "cost": {"time": 1, "work": 2, "charged_work": 2},
+        "batch_size": 1, "worker_id": 0,
+        "queued_seconds": 0.0, "latency_seconds": 0.0, "error": None,
+    }
+    client = ScriptedClient(
+        [_busy(0.2), (200, {}, done)],
+        busy_retries=1,
+        busy_jitter=0.0,
+        _sleep=clock,
+    )
+    response = client.solve([1, 0], [0, 0])
+    assert response.status.value == "done"
+    assert clock.sleeps == [0.2]

@@ -48,10 +48,13 @@ from repro.errors import QueueFullError, ServiceShutdownError, WireFormatError
 from repro.graphs.generators import random_function
 from repro.partition import coarsest_partition, same_partition
 from repro.serving import (
+    FramedIngress,
+    FramedServiceClient,
     HttpIngress,
     HttpServiceClient,
     JobStatus,
     ReplicaSet,
+    ReplicaSupervisor,
     SolveRequest,
     SolveResponse,
     SolveService,
@@ -81,7 +84,29 @@ class HttpTransportHarness:
         return HttpServiceClient(url)
 
 
-TRANSPORTS = {"http": HttpTransportHarness()}
+class FramedTransportHarness:
+    """Serves a backend over the length-prefixed framed binary protocol.
+
+    The ingress sniffs the first bytes of each connection, so the same
+    port answers raw-HTTP probes (``_raw_post``) and the CLI load
+    generator too — the framed protocol is additive, not exclusive.
+    """
+
+    name = "framed"
+
+    @contextmanager
+    def serve(self, backend, **transport_kwargs):
+        ingress = FramedIngress(backend, **transport_kwargs).start_in_thread()
+        try:
+            yield ingress.url
+        finally:
+            ingress.close()
+
+    def client(self, url):
+        return FramedServiceClient(url)
+
+
+TRANSPORTS = {"http": HttpTransportHarness(), "framed": FramedTransportHarness()}
 
 
 @pytest.fixture(params=sorted(TRANSPORTS))
@@ -632,6 +657,83 @@ def test_bench_http_transport_cells_verify_and_report(transport):
     assert report.all_done and report.verified is True
     assert report.config["transport"] == "http"
     assert report.metrics.pram.charged_work > 0
+
+
+def test_process_replicas_survive_kill9_mid_load_with_zero_lost_jobs(transport):
+    """Acceptance: replicas in separate OS processes take a ``kill -9``
+    mid-load and the set still answers every request exactly once.
+
+    The victim pid comes from the public admin surface (``/v1/replicas``),
+    the kill is genuinely un-maskable (SIGKILL), and afterwards the
+    supervisor must have re-homed the orphans, restarted the slot, and
+    reported all of it through its event log.
+    """
+    import os
+    import signal
+
+    total = 24
+    stream = generate_requests(total, 160, seed=17)
+    supervisor = ReplicaSupervisor(
+        3,
+        service_kwargs=dict(workers=1, max_batch_delay=0.001),
+        heartbeat_interval=0.05,
+        # generous stall threshold: on a starved CI box a *healthy* child
+        # can miss the default 1s budget, and a false stall-kill here
+        # would turn this into a different test
+        heartbeat_timeout=2.0,
+        restart_backoff=0.1,
+        restart_backoff_cap=0.5,
+    ).start()
+    results, errors = [], []
+    try:
+        with transport.serve(supervisor) as url:
+            gate = threading.Semaphore(8)
+
+            def fire(item):
+                f, b, audit = item
+                with gate:
+                    try:
+                        with transport.client(url) as client:
+                            results.append((item, client.solve(f, b, audit=audit)))
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+            threads = [threading.Thread(target=fire, args=(item,)) for item in stream]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.08)  # mid-load...
+            with transport.client(url) as admin:
+                rows = admin.replicas()
+            victim = next(r["pid"] for r in rows if r.get("pid"))
+            os.kill(victim, signal.SIGKILL)  # ...kill -9 one replica process
+            for thread in threads:
+                thread.join(timeout=180)
+            assert not any(t.is_alive() for t in threads)
+
+            # the slot must come back: live again with a bumped restart count
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                with transport.client(url) as admin:
+                    rows = admin.replicas()
+                if all(r["live"] for r in rows) and any(r["restarts"] >= 1 for r in rows):
+                    break
+                time.sleep(0.1)
+            assert all(r["live"] for r in rows), rows
+            assert sum(r["restarts"] for r in rows) >= 1, rows
+    finally:
+        supervisor.shutdown()
+
+    assert not errors
+    # zero lost: every request answered, all solved, each billed exactly once
+    assert len(results) == total
+    assert all(r.status is JobStatus.DONE for _, r in results)
+    assert len({r.request_id for _, r in results}) == total
+    assert all(r.cost.work > 0 for _, r in results)
+    # the answers are correct, not merely present
+    for (f, b, audit), response in results:
+        assert same_partition(response.labels, coarsest_partition(f, b).labels)
+    events = [e["event"] for e in supervisor.events()]
+    assert "death" in events and "restarted" in events
 
 
 def test_replica_admin_eject_restore_roundtrip(transport):
