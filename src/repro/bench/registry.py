@@ -107,11 +107,13 @@ def _render_scaling(rows: List[Row], config: SweepConfig) -> List[str]:
 
 def _render_serving(rows: List[Row], config: SweepConfig) -> List[str]:
     return [render_table(rows, columns=[
-        "n", "transport", "replica_mode", "workers", "requests", "completed",
-        "batches", "multi_batches", "mean_occupancy", "throughput_rps",
-        "p50_ms", "p95_ms", "p99_ms", "time", "work", "charged_work"],
+        "n", "transport", "replica_mode", "chaos_proxy", "workers", "requests",
+        "completed", "batches", "multi_batches", "mean_occupancy",
+        "throughput_rps", "p50_ms", "p95_ms", "p99_ms", "time", "work",
+        "charged_work"],
         title="Serving: micro-batched service throughput/latency "
-              "(in-process vs loopback HTTP/framed vs process replicas)")]
+              "(in-process vs loopback HTTP/framed vs process replicas "
+              "vs chaos-proxied framed)")]
 
 
 def _run_serving(**kwargs) -> List[Row]:

@@ -42,7 +42,21 @@ front end that *accepts traffic*.  This package turns
   :class:`FramedIngress` / :class:`FramedServiceClient`;
 * :mod:`~repro.serving.supervisor` — :class:`ReplicaSupervisor`: replicas
   as supervised OS processes — spawn, heartbeat-watch, crash-restart with
-  exponential backoff, and zero-lost-job re-homing of orphaned work.
+  exponential backoff, and zero-lost-job re-homing of orphaned work;
+* :mod:`~repro.serving.policy` — the unified :class:`FailurePolicy`
+  (timeouts, :class:`BackoffPolicy` retry/reconnect schedules, a
+  :class:`CircuitBreaker` per peer, and :class:`GrayFailureDetector`
+  latency-EWMA gating) shared by every client and replica handle;
+* :mod:`~repro.serving.handles` (again) — :class:`RemoteReplicaHandle`:
+  the cross-host sibling of :class:`ProcessReplicaHandle`, dialing
+  ``host:port`` over the framed transport with reconnect-and-re-home;
+* :mod:`~repro.serving.remote` — :class:`RemoteReplicaFleet`: N remote
+  hosts behind the one submission surface, with orphan re-homing,
+  parked-work replay on reconnect, and a structured fleet event log;
+* :mod:`~repro.serving.chaos` — seeded, deterministic fault injection:
+  :class:`ChaosTcpProxy` / :class:`ChaosSocket` replaying named
+  schedules of latency, resets, partial writes, frame corruption,
+  heartbeat loss and blackholes (see ``RESILIENCE.md``).
 
 Quickstart
 ----------
@@ -66,10 +80,14 @@ self-contained load-generator demo and prints the metrics table;
 """
 
 from .batcher import Batch, BatcherStats, MicroBatcher
+from .chaos import FAULT_KINDS, ChaosSchedule, ChaosTcpProxy
+from .events import EventRecorder
 from .framing import FramedIngress, FramedServiceClient
-from .handles import ProcessReplicaHandle, ReplicaHandle
+from .handles import ProcessReplicaHandle, RemoteReplicaHandle, ReplicaHandle
 from .metrics import LatencyWindow, MetricsRecorder, ServiceMetrics
+from .policy import BackoffPolicy, CircuitBreaker, FailurePolicy, GrayFailureDetector
 from .queue import IngressQueue
+from .remote import RemoteReplicaFleet, RemoteServiceBackend
 from .replicas import ReplicaSet
 from .requests import JobStatus, SolveRequest, SolveResponse
 from .service import SolveService
@@ -111,4 +129,15 @@ __all__ = [
     "ServiceClientBase",
     "FramedIngress",
     "FramedServiceClient",
+    "RemoteReplicaHandle",
+    "RemoteReplicaFleet",
+    "RemoteServiceBackend",
+    "FailurePolicy",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "GrayFailureDetector",
+    "EventRecorder",
+    "ChaosSchedule",
+    "ChaosTcpProxy",
+    "FAULT_KINDS",
 ]

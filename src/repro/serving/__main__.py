@@ -1,6 +1,6 @@
 """Command-line front end: ``python -m repro.serving`` / ``repro-serve``.
 
-Four modes:
+Five modes:
 
 * **Demo/smoke (default)** — runs a self-contained load-generator burst
   against a fresh :class:`~repro.serving.service.SolveService`, verifies
@@ -9,17 +9,27 @@ Four modes:
 * **Server (``--http``)** — boots the protocol-sniffing ingress
   (:mod:`repro.serving.framing`: framed and HTTP on one port) in front of
   a ``SolveService``, a :class:`~repro.serving.replicas.ReplicaSet`
-  (``--replicas N``), or — with ``--processes`` — a
+  (``--replicas N``), with ``--processes`` a
   :class:`~repro.serving.supervisor.ReplicaSupervisor` running each
-  replica as its own OS process, and serves until interrupted, draining
-  on shutdown.
+  replica as its own OS process, or with ``--remote HOST:PORT`` (and/or
+  ``--remote-config``) a
+  :class:`~repro.serving.remote.RemoteReplicaFleet` of framed replicas
+  on *other hosts*, and serves until interrupted, draining on shutdown.
 * **Replica worker (``--replica-worker``)** — the child end of
-  ``--processes``: one service behind a framed ingress on an ephemeral
-  port, announced through ``--port-file``; drains and exits 0 on SIGTERM
-  or when its parent's stdin pipe closes.
+  ``--processes`` (and a fine standalone remote host): one service behind
+  a framed ingress on an ephemeral port, announced through
+  ``--port-file``; drains and exits 0 on SIGTERM or when its parent's
+  stdin pipe closes.
 * **Wire load generator (``--connect URL``)** — fires the demo burst at an
   *already-running* server over HTTP, verifies responses against direct
-  solves, and snapshots the server's ``/metrics`` document.
+  solves, and snapshots the server's ``/metrics`` document;
+  ``--connect-retries N`` rides out dropped connections (chaos smoke).
+* **Chaos proxy (``--chaos-proxy --upstream HOST:PORT``)** — a
+  deterministic fault-injecting TCP proxy
+  (:mod:`repro.serving.chaos`): seeded schedule of latency, resets,
+  partial writes, frame corruption, heartbeat drops and blackholes,
+  replayable via ``--chaos-seed`` and exported with
+  ``--chaos-schedule-out``.
 
 Examples
 --------
@@ -128,11 +138,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     net.add_argument(
         "--heartbeat-interval", type=float, default=0.05, metavar="SECONDS",
-        help="replica wire-heartbeat period for --processes (default 0.05)",
+        help="replica wire-heartbeat period for --processes/--remote (default 0.05)",
+    )
+    net.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+        help="seconds without a heartbeat before a replica is health-gated "
+             "(default max(1.0, 20 * heartbeat interval); must exceed the "
+             "interval)",
     )
     net.add_argument(
         "--supervisor-log", default=None, metavar="PATH",
-        help="append supervisor lifecycle events as JSON lines to PATH",
+        help="append supervisor/fleet lifecycle events as JSON lines to PATH",
     )
     net.add_argument(
         "--replica-worker", action="store_true",
@@ -147,6 +163,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive an already-running server over the wire instead of "
              "booting one (load generator for CI smoke)",
     )
+    net.add_argument(
+        "--connect-retries", type=int, default=0, metavar="N",
+        help="--connect only: re-send a job on a dropped connection up to "
+             "N times (chaos smoke: ride out resets/partitions)",
+    )
+
+    remote = parser.add_argument_group("cross-host replicas")
+    remote.add_argument(
+        "--remote", action="append", default=None, metavar="HOST:PORT",
+        help="serve a fleet of remote framed replicas at these addresses "
+             "(repeatable); implies --http",
+    )
+    remote.add_argument(
+        "--remote-config", default=None, metavar="PATH",
+        help="JSON file with {\"replicas\": [\"host:port\", ...]} to extend "
+             "--remote",
+    )
+    remote.add_argument(
+        "--auth-secret", default=None, metavar="SECRET",
+        help="framed shared secret: a --replica-worker *requires* it after "
+             "the connection magic (and drops plain HTTP), while --remote "
+             "presents it when dialing each host "
+             "(env REPRO_AUTH_SECRET also works)",
+    )
+
+    chaos = parser.add_argument_group("chaos proxy")
+    chaos.add_argument(
+        "--chaos-proxy", action="store_true",
+        help="run a deterministic fault-injecting TCP proxy instead of a "
+             "server (requires --upstream)",
+    )
+    chaos.add_argument(
+        "--upstream", default=None, metavar="HOST:PORT",
+        help="--chaos-proxy: address to forward to",
+    )
+    chaos.add_argument(
+        "--chaos-seed", default="0", metavar="SEED",
+        help="named seed for the fault schedule (same seed = same faults)",
+    )
+    chaos.add_argument(
+        "--chaos-faults", default=None, metavar="KINDS",
+        help="comma-separated fault kinds to rotate through "
+             "(default: all; 'none' = clean pass-through)",
+    )
+    chaos.add_argument(
+        "--chaos-every", type=int, default=3, metavar="N",
+        help="inject a fault on every Nth connection (default 3)",
+    )
+    chaos.add_argument(
+        "--chaos-schedule-out", default=None, metavar="PATH",
+        help="write the deterministic fault schedule as JSON to PATH "
+             "(replay artifact)",
+    )
     return parser
 
 
@@ -158,9 +227,29 @@ def _write_port_file(path, port) -> None:
         fh.write(f"{port}\n")
 
 
+def _auth_secret(args) -> Optional[str]:
+    return args.auth_secret or os.environ.get("REPRO_AUTH_SECRET") or None
+
+
+def _remote_addresses(args) -> list:
+    """Collect the static replica list from --remote and --remote-config."""
+    addresses = list(args.remote or [])
+    if args.remote_config:
+        with open(args.remote_config, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+        extra = document.get("replicas") if isinstance(document, dict) else document
+        if not isinstance(extra, list) or not all(isinstance(a, str) for a in extra):
+            raise ValueError(
+                f"{args.remote_config}: expected {{\"replicas\": [\"host:port\", ...]}}"
+            )
+        addresses.extend(extra)
+    return addresses
+
+
 def serve_http(args, say) -> int:
     """``--http``: boot the ingress and serve until interrupted."""
     from .framing import FramedIngress
+    from .remote import RemoteReplicaFleet
     from .replicas import ReplicaSet
     from .service import SolveService
     from .supervisor import ReplicaSupervisor
@@ -175,12 +264,24 @@ def serve_http(args, say) -> int:
         mode=args.mode,
         default_algorithm=args.algorithm,
     )
-    if args.processes:
+    remote_addresses = _remote_addresses(args)
+    if remote_addresses:
+        backend = RemoteReplicaFleet(
+            remote_addresses,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            auth_secret=_auth_secret(args),
+            event_log=args.supervisor_log,
+        ).start()
+        say(f"[repro.serving] remote fleet: {backend.num_replicas} host(s) "
+            f"at {', '.join(remote_addresses)}")
+    elif args.processes:
         backend = ReplicaSupervisor(
             max(1, args.replicas),
             service_kwargs=service_kwargs,
             seed=args.seed,
             heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
             event_log=args.supervisor_log,
         ).start()
         say(f"[repro.serving] replica supervisor: {backend.num_replicas} "
@@ -191,6 +292,9 @@ def serve_http(args, say) -> int:
             f"{args.backend} worker(s)")
     else:
         backend = SolveService(seed=args.seed, **service_kwargs)
+    # The fleet authenticates *outbound* to the remote hosts; the local
+    # front stays open (HTTP + framed) for healthz/metrics/load-gen.  An
+    # auth-requiring framed server is the --replica-worker mode.
     ingress = FramedIngress(
         backend, host=args.host, port=args.port, max_inflight=args.max_inflight
     ).start_in_thread()
@@ -239,7 +343,8 @@ def run_replica_worker(args, say) -> int:
         seed=args.seed,
     )
     ingress = FramedIngress(
-        service, host=args.host, port=args.port, max_inflight=args.max_inflight
+        service, host=args.host, port=args.port, max_inflight=args.max_inflight,
+        auth_secret=_auth_secret(args),
     ).start_in_thread()
     if args.port_file:
         _write_port_file(args.port_file, ingress.port)
@@ -274,6 +379,55 @@ def run_replica_worker(args, say) -> int:
     return 0
 
 
+def run_chaos_proxy(args, say) -> int:
+    """``--chaos-proxy``: deterministic fault-injecting TCP proxy.
+
+    Sits between clients and an already-running server, injecting the
+    seeded fault schedule connection by connection.  The schedule is pure
+    — same seed, same faults, same byte offsets — so any chaos run can be
+    replayed exactly; ``--chaos-schedule-out`` writes it as JSON for CI
+    artifacts.
+    """
+    from .chaos import FAULT_KINDS, ChaosSchedule, ChaosTcpProxy
+
+    if not args.upstream:
+        print("[repro.serving] --chaos-proxy requires --upstream HOST:PORT",
+              file=sys.stderr)
+        return 2
+    schedule: Optional[ChaosSchedule] = None
+    if args.chaos_faults != "none":
+        if args.chaos_faults:
+            faults = tuple(k.strip() for k in args.chaos_faults.split(",") if k.strip())
+            unknown = [k for k in faults if k not in FAULT_KINDS]
+            if unknown:
+                print(f"[repro.serving] unknown fault kind(s) {unknown}; "
+                      f"choose from {list(FAULT_KINDS)}", file=sys.stderr)
+                return 2
+        else:
+            faults = FAULT_KINDS
+        schedule = ChaosSchedule(args.chaos_seed, faults=faults, every=args.chaos_every)
+    proxy = ChaosTcpProxy(args.upstream, schedule=schedule,
+                          host=args.host, port=args.port).start()
+    if args.chaos_schedule_out and schedule is not None:
+        schedule.dump(args.chaos_schedule_out)
+        say(f"[repro.serving] wrote fault schedule to {args.chaos_schedule_out}")
+    faults_desc = ("disabled" if schedule is None
+                   else f"{', '.join(schedule.faults)} every {schedule.every} conns "
+                        f"(seed {schedule.seed!r})")
+    say(f"[repro.serving] chaos proxy {proxy.address} -> {args.upstream}; "
+        f"faults: {faults_desc}")
+    if args.port_file:
+        _write_port_file(args.port_file, proxy.port)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        say("\n[repro.serving] chaos proxy stopping...")
+    finally:
+        proxy.close()
+    return 0
+
+
 def run_connect(args, say) -> int:
     """``--connect URL``: wire load generator against a running server."""
     say(f"[repro.serving] over-the-wire burst of {args.requests} requests "
@@ -286,6 +440,7 @@ def run_connect(args, say) -> int:
         algorithm=args.algorithm,
         audit_mix=not args.no_audit_mix,
         verify=not args.no_verify,
+        connect_retries=max(0, args.connect_retries),
     )
     say(f"[repro.serving] completed {report.completed}/{len(report.responses)} "
         f"in {report.wall_seconds:.3f}s "
@@ -323,13 +478,16 @@ def run_connect(args, say) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     say = (lambda *_: None) if args.quiet else print
-    if args.http and args.connect:
-        print("[repro.serving] --http and --connect are mutually exclusive",
-              file=sys.stderr)
+    if sum(bool(m) for m in (args.http or args.remote or args.remote_config,
+                             args.connect, args.chaos_proxy)) > 1:
+        print("[repro.serving] --http/--remote, --connect and --chaos-proxy "
+              "are mutually exclusive", file=sys.stderr)
         return 2
+    if args.chaos_proxy:
+        return run_chaos_proxy(args, say)
     if args.replica_worker:
         return run_replica_worker(args, say)
-    if args.http:
+    if args.http or args.remote or args.remote_config:
         return serve_http(args, say)
     if args.connect:
         return run_connect(args, say)

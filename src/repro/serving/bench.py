@@ -25,6 +25,7 @@ import asyncio
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -116,6 +117,7 @@ def run_load(
     replica_mode: str = "inproc",
     replicas: int = 2,
     concurrency: int = 16,
+    chaos_proxy: bool = False,
 ) -> LoadReport:
     """Drive a fresh service with a synthetic burst and report the outcome.
 
@@ -134,7 +136,10 @@ def run_load(
     socket transport — a process backend with no wire makes no sense).
     With ``verify`` every DONE response's labels are checked against a
     direct ``coarsest_partition`` call with the same algorithm and audit
-    flag.
+    flag.  With ``chaos_proxy`` (socket transports only) the burst rides
+    through a faults-disabled
+    :class:`~repro.serving.chaos.ChaosTcpProxy`, measuring the pure
+    byte-shoveling overhead of the chaos harness itself.
     """
     if transport not in TRANSPORTS:
         raise ValueError(f"unknown transport {transport!r}; choose from {TRANSPORTS}")
@@ -145,6 +150,10 @@ def run_load(
         raise ValueError(
             "replica_mode='process' needs a socket transport "
             "('http' or 'framed'); there is no in-process path to a child")
+    if chaos_proxy and transport == "inproc":
+        raise ValueError(
+            "chaos_proxy=True needs a socket transport ('http' or 'framed'); "
+            "there is no TCP stream to interpose on in-process")
     stream = generate_requests(requests, size, seed=seed, audit_mix=audit_mix)
     config: Dict[str, object] = {
         "workers": workers,
@@ -164,6 +173,8 @@ def run_load(
     }
     if replica_mode == "process":
         config["replicas"] = replicas
+    if chaos_proxy:
+        config["chaos_proxy"] = True
 
     if replica_mode == "process":
         from .supervisor import ReplicaSupervisor
@@ -195,6 +206,7 @@ def run_load(
             seed=seed,
         )
     ingress = None
+    proxy = None
     client_factory = None
     try:
         if transport != "inproc":
@@ -210,10 +222,18 @@ def run_load(
                 from .transport import HttpIngress
 
                 ingress = HttpIngress(service).start_in_thread()
-        start = time.perf_counter()
+        url = None
         if ingress is not None:
+            url = ingress.url
+            if chaos_proxy:
+                from .chaos import ChaosTcpProxy
+
+                proxy = ChaosTcpProxy((ingress.host, ingress.port)).start()
+                url = proxy.url
+        start = time.perf_counter()
+        if url is not None:
             responses = _post_stream(
-                ingress.url, stream, algorithm, concurrency,
+                url, stream, algorithm, concurrency,
                 client_factory=client_factory)
         else:
             responses = asyncio.run(_fire(service, stream, algorithm))
@@ -221,6 +241,8 @@ def run_load(
         wall = time.perf_counter() - start
         metrics = service.metrics()
     finally:
+        if proxy is not None:
+            proxy.close()
         if ingress is not None:
             ingress.close()
         service.shutdown()
@@ -274,6 +296,8 @@ def _post_stream(
     algorithm: str,
     concurrency: int,
     client_factory=None,
+    connect_retries: int = 0,
+    retry_delay: float = 0.25,
 ) -> List[SolveResponse]:
     """Fire a burst at a running server, one keep-alive client per thread.
 
@@ -282,9 +306,23 @@ def _post_stream(
     :class:`~repro.serving.framing.FramedServiceClient` for the binary
     framing); anything callable as ``factory(url)`` yielding a
     ``ServiceClientBase`` works.
+
+    ``connect_retries`` makes each job survive dropped connections: on a
+    transport-level failure the poisoned client is discarded and the job
+    is re-sent on a fresh connection, up to N times with linear delay.
+    That is what lets the chaos smoke drive a server through scheduled
+    resets and partitions — the *server* guarantees exactly-once handling
+    per admitted request; the retry only re-covers requests the transport
+    lost on the way in or out.
     """
+    import http.client
+
     from .transport import HttpServiceClient
 
+    # Transport-level failures worth a fresh connection: dropped/reset
+    # sockets, stuck reads, and corrupted HTTP response prefixes.
+    retriable = (ConnectionError, OSError, TimeoutError, FuturesTimeout,
+                 http.client.HTTPException)
     factory = client_factory if client_factory is not None else HttpServiceClient
     local = threading.local()
     clients: List[object] = []
@@ -297,9 +335,28 @@ def _post_stream(
                 clients.append(local.client)
         return local.client
 
+    def discard_client() -> None:
+        stale = getattr(local, "client", None)
+        if stale is None:
+            return
+        del local.client
+        try:
+            stale.close()
+        except OSError:
+            pass
+
     def fire(item: Tuple[np.ndarray, np.ndarray, bool]) -> SolveResponse:
         f, b, audit = item
-        return client().solve(f, b, algorithm=algorithm, audit=audit)
+        attempt = 0
+        while True:
+            try:
+                return client().solve(f, b, algorithm=algorithm, audit=audit)
+            except retriable:
+                discard_client()
+                if attempt >= connect_retries:
+                    raise
+                attempt += 1
+                time.sleep(retry_delay * attempt)
 
     pool = ThreadPoolExecutor(max_workers=max(1, min(concurrency, len(stream))))
     try:
@@ -340,6 +397,7 @@ def run_wire_load(
     audit_mix: bool = True,
     verify: bool = True,
     concurrency: int = 16,
+    connect_retries: int = 0,
 ) -> WireLoadReport:
     """Drive an already-running serving endpoint over the wire.
 
@@ -348,15 +406,27 @@ def run_wire_load(
     against direct ``coarsest_partition`` calls, and snapshots the
     *server's* ``/metrics`` document afterwards (the server is a separate
     process, so its metrics are the only service-side observability).
+    ``connect_retries`` re-sends jobs whose connection a chaos proxy (or
+    real network) dropped — see :func:`_post_stream`.
     """
     from .transport import HttpServiceClient
 
     stream = generate_requests(requests, size, seed=seed, audit_mix=audit_mix)
     start = time.perf_counter()
-    responses = _post_stream(url, stream, algorithm, concurrency)
+    responses = _post_stream(
+        url, stream, algorithm, concurrency, connect_retries=connect_retries
+    )
     wall = time.perf_counter() - start
-    with HttpServiceClient(url) as client:
-        server_metrics = client.metrics()
+    server_metrics = None
+    for attempt in range(connect_retries + 1):
+        try:
+            with HttpServiceClient(url) as client:
+                server_metrics = client.metrics()
+            break
+        except (ConnectionError, OSError, TimeoutError):
+            if attempt >= connect_retries:
+                raise
+            time.sleep(0.25 * (attempt + 1))
     report = WireLoadReport(
         responses=responses,
         wall_seconds=wall,
@@ -364,6 +434,7 @@ def run_wire_load(
             "url": url, "requests": requests, "size": size, "seed": seed,
             "algorithm": algorithm, "audit_mix": audit_mix,
             "concurrency": concurrency, "transport": "http",
+            "connect_retries": connect_retries,
         },
         server_metrics=server_metrics,
     )
@@ -396,13 +467,19 @@ def run_serving_benchmark(
     charged work) across PRs; the ``replica_mode="process"`` rows add
     the cross-process supervisor cells (``process_replicas`` child OS
     processes behind the same socket transports), bounding what a crash
-    -isolated deployment pays over a single-process one.
+    -isolated deployment pays over a single-process one.  The
+    ``chaos_proxy`` rows ride the framed burst through a faults-disabled
+    :class:`~repro.serving.chaos.ChaosTcpProxy`, so the artifact also
+    tracks the pure interposition overhead of the chaos harness — the
+    price of running the resilience suite, kept honest across PRs.
     """
-    cells = [(t, "inproc") for t in transports]
-    cells += [(t, "process") for t in transports if t != "inproc"]
+    cells = [(t, "inproc", False) for t in transports]
+    cells += [(t, "process", False) for t in transports if t != "inproc"]
+    if "framed" in transports:
+        cells.append(("framed", "inproc", True))
     rows: List[Dict[str, object]] = []
     for n in sizes:
-        for transport, replica_mode in cells:
+        for transport, replica_mode, chaos_proxy in cells:
             report = run_load(
                 workers=workers,
                 backend=backend,
@@ -415,6 +492,7 @@ def run_serving_benchmark(
                 transport=transport,
                 replica_mode=replica_mode,
                 replicas=process_replicas,
+                chaos_proxy=chaos_proxy,
             )
             m = report.metrics
             rows.append(
@@ -422,6 +500,7 @@ def run_serving_benchmark(
                     "n": int(n),
                     "transport": transport,
                     "replica_mode": replica_mode,
+                    "chaos_proxy": chaos_proxy,
                     "workers": workers,
                     "requests": requests,
                     "completed": report.completed,

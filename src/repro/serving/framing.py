@@ -17,10 +17,24 @@ Protocol
 A client opens the connection by sending the 4-byte magic ``RPF1``.  After
 that, both directions speak frames::
 
-    u32  length      (big-endian, bytes after this field)
+    u32  length      (big-endian, payload bytes after the crc field)
+    u32  crc         (CRC-32 of the payload; mismatch = corrupted frame,
+                      the connection is dropped rather than trusting it)
     u64  corr_id     (client-chosen correlation id; 0 = unsolicited)
-    u8   kind        (REQUEST / RESPONSE / PUSH / HEARTBEAT)
+    u8   kind        (REQUEST / RESPONSE / PUSH / HEARTBEAT / AUTH)
     ...  kind-specific payload
+
+The checksum is what makes injected byte corruption *detectable*: a
+flipped bit anywhere in a frame surfaces as a clean connection drop (and
+from there the normal reconnect/re-home path), never as a silently wrong
+response.
+
+When the server is constructed with a shared ``auth_secret``, the first
+frame after the magic must be an ``AUTH`` frame whose payload is the
+secret (compared with ``hmac.compare_digest``); anything else — including
+a sniffed HTTP request — drops the connection without an answer.  Servers
+without a secret ignore a leading ``AUTH`` frame, so clients may always
+send one.
 
 ``REQUEST`` carries ``u8 method, u16 path_len, path, body`` — method/path
 route through the *same* dispatch table as HTTP, so every endpoint
@@ -50,11 +64,13 @@ against a framed endpoint unchanged.
 from __future__ import annotations
 
 import asyncio
+import hmac
 import itertools
 import json
 import socket
 import struct
 import threading
+import zlib
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -73,6 +89,7 @@ KIND_REQUEST = 1    #: client -> server: method/path/body
 KIND_RESPONSE = 2   #: server -> client: answer to a REQUEST (same corr_id)
 KIND_PUSH = 3       #: server -> client: deferred solve answer (wait=push)
 KIND_HEARTBEAT = 4  #: server -> client: unsolicited health advertisement
+KIND_AUTH = 5       #: client -> server: shared-secret handshake (first frame)
 
 _METHOD_CODES = {"GET": 0, "POST": 1}
 _METHOD_NAMES = {code: name for name, code in _METHOD_CODES.items()}
@@ -80,10 +97,19 @@ _METHOD_NAMES = {code: name for name, code in _METHOD_CODES.items()}
 #: Framing overhead allowed on top of ``max_body_bytes`` (headers, path).
 _FRAME_SLACK = 64 * 1024
 
+#: Client-side ceiling on a single frame: a corrupted length field must
+#: surface as a framing error, not a multi-gigabyte read.
+_CLIENT_MAX_FRAME = 512 * 1024 * 1024
+
 
 # ----------------------------------------------------------------------
 # frame codec
 # ----------------------------------------------------------------------
+def _frame(payload: bytes) -> bytes:
+    """Prefix ``payload`` with the ``u32 length | u32 crc`` frame header."""
+    return struct.pack("!II", len(payload), zlib.crc32(payload)) + payload
+
+
 def encode_request_frame(corr_id: int, method: str, path: str, body: bytes) -> bytes:
     """Client-side frame: ``REQUEST(method, path, body)``."""
     code = _METHOD_CODES.get(method)
@@ -93,7 +119,13 @@ def encode_request_frame(corr_id: int, method: str, path: str, body: bytes) -> b
     if len(raw_path) > 0xFFFF:
         raise FramingError(f"request path of {len(raw_path)} bytes exceeds the u16 limit")
     payload = struct.pack("!QBBH", corr_id, KIND_REQUEST, code, len(raw_path)) + raw_path + body
-    return struct.pack("!I", len(payload)) + payload
+    return _frame(payload)
+
+
+def encode_auth_frame(secret: str) -> bytes:
+    """Client-side frame: ``AUTH(secret)`` — sent right after the magic."""
+    payload = struct.pack("!QB", 0, KIND_AUTH) + secret.encode("utf-8")
+    return _frame(payload)
 
 
 def encode_reply_frame(
@@ -110,7 +142,7 @@ def encode_reply_frame(
         blob += struct.pack("!H", len(raw_name)) + raw_name
         blob += struct.pack("!H", len(raw_value)) + raw_value
     blob += body
-    return struct.pack("!I", len(blob)) + blob
+    return _frame(blob)
 
 
 def decode_request_payload(payload: bytes) -> Tuple[str, str, bytes]:
@@ -207,20 +239,39 @@ class FramedIngress(HttpIngress):
     :class:`~repro.serving.transport.HttpIngress`; framed connections go
     through the same ``_dispatch``, so both transports answer identically
     byte-for-byte at the payload level.
+
+    ``auth_secret`` (optional) requires every framed connection to open
+    with a matching ``AUTH`` frame — and disables the HTTP fallback
+    entirely, since HTTP requests carry no secret.
     """
+
+    def __init__(self, backend, *, auth_secret: Optional[str] = None, **kwargs) -> None:
+        super().__init__(backend, **kwargs)
+        self.auth_secret = auth_secret
 
     async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         try:
             preamble = await reader.readexactly(len(MAGIC))
-        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            # Includes shutdown racing a connection that never sent its
+            # preamble: close quietly instead of leaking CancelledError
+            # into the event loop's exception handler.
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+            return
+        if preamble == MAGIC:
+            await self._handle_framed(reader, writer)
+        elif self.auth_secret is not None:
+            # Auth-protected servers speak framed only: no HTTP fallback.
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
-            return
-        if preamble == MAGIC:
-            await self._handle_framed(reader, writer)
         else:
             await super()._handle_connection(_PrefixedReader(preamble, reader), writer)
 
@@ -229,13 +280,31 @@ class FramedIngress(HttpIngress):
         if task is not None:
             self._conn_tasks.add(task)
         conn = _FramedConn(writer)
+        authed = self.auth_secret is None
+        seen_auth = False
         try:
             while True:
-                (length,) = struct.unpack("!I", await reader.readexactly(4))
+                length, crc = struct.unpack("!II", await reader.readexactly(8))
                 if length < 9 or length > self.max_body_bytes + _FRAME_SLACK:
                     break  # protocol violation: drop the connection
                 blob = await reader.readexactly(length)
+                if zlib.crc32(blob) != crc:
+                    break  # corrupted frame: drop rather than trust it
                 corr_id, kind = struct.unpack_from("!QB", blob)
+                if kind == KIND_AUTH:
+                    if seen_auth:
+                        break  # at most one AUTH frame, and only first
+                    seen_auth = True
+                    if self.auth_secret is not None:
+                        if not hmac.compare_digest(
+                            blob[9:], self.auth_secret.encode("utf-8")
+                        ):
+                            break  # wrong secret: drop without an answer
+                        authed = True
+                    continue  # secret-less servers tolerate a leading AUTH
+                if not authed:
+                    break  # first frame must be AUTH when a secret is set
+                seen_auth = True  # any non-AUTH frame ends the handshake window
                 if kind != KIND_REQUEST:
                     break  # clients may only send REQUEST frames
                 try:
@@ -414,6 +483,7 @@ class FramedServiceClient(ServiceClientBase):
         *,
         timeout: float = 120.0,
         on_close: Optional[Callable[[], None]] = None,
+        auth_secret: Optional[str] = None,
         **base_kwargs,
     ) -> None:
         super().__init__(timeout=timeout, **base_kwargs)
@@ -434,7 +504,10 @@ class FramedServiceClient(ServiceClientBase):
         self._closed = False
         self._sock = socket.create_connection((self.host, self.port), timeout=10.0)
         self._sock.settimeout(None)
-        self._sock.sendall(MAGIC)
+        opening = MAGIC
+        if auth_secret is not None:
+            opening += encode_auth_frame(auth_secret)
+        self._sock.sendall(opening)
         self._reader = threading.Thread(
             target=self._read_loop, name=f"repro-framed-client-{self.port}", daemon=True
         )
@@ -537,8 +610,12 @@ class FramedServiceClient(ServiceClientBase):
     def _read_loop(self) -> None:
         try:
             while True:
-                (length,) = struct.unpack("!I", self._recv_exactly(4))
+                length, crc = struct.unpack("!II", self._recv_exactly(8))
+                if length < 9 or length > _CLIENT_MAX_FRAME:
+                    raise FramingError(f"implausible frame length {length}")
                 blob = self._recv_exactly(length)
+                if zlib.crc32(blob) != crc:
+                    raise FramingError("frame checksum mismatch: corrupted stream")
                 corr_id, kind = struct.unpack_from("!QB", blob)
                 status, headers, body = decode_reply_payload(blob[9:])
                 content_type = headers.get("content-type", "")

@@ -13,10 +13,22 @@ implementations exist:
   a replica running in *another process*, speaking the framed transport
   of :mod:`repro.serving.framing`; health is routed on what the child
   *advertises* through wire heartbeats, never on shared memory;
+* :class:`RemoteReplicaHandle` (this module) — the same wire surface
+  pointed at a *configured address* instead of a supervised child: on
+  connection loss it hands orphans to ``on_death`` (exactly-once
+  re-homing) and then runs a reconnect loop with capped jittered
+  backoff, because a remote host the parent did not spawn may come back;
 * :class:`~repro.serving.supervisor.ReplicaSupervisor` — not a handle
   per-replica but the owner of many ``ProcessReplicaHandle``\\ s: it
   spawns ``repro-serve --replica-worker`` children, watches their
   heartbeats, and restarts crashed ones with zero-lost-job re-homing.
+
+Both wire handles consume a :class:`~repro.serving.policy.FailurePolicy`:
+a per-replica circuit breaker (consecutive transport failures open it;
+a half-open probe closes it) and an optional latency-EWMA gray-failure
+detector both gate ``accepting``, so placement skips replicas that are
+broken *or merely degraded* — the same path that hides a stale-heartbeat
+replica.
 
 Because request ids come from one process-wide counter on the *parent*
 side, a ``ProcessReplicaHandle`` keeps the parent's id as the identity of
@@ -28,15 +40,19 @@ the submitter was given, no matter which process solved the work.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+from urllib.parse import urlsplit
 
 from ..errors import ServiceError, ServiceShutdownError
 from . import wire
 from .framing import FramedServiceClient
 from .metrics import ServiceMetrics
+from .policy import BREAKER_CLOSED, BREAKER_OPEN, FailurePolicy
 from .requests import JobStatus, SolveRequest, SolveResponse
 
 #: An orphan is a job a dead replica accepted but never answered: the
@@ -101,6 +117,15 @@ def liveness_row(handle: Any) -> Dict[str, Any]:
     pid = getattr(handle, "pid", None)
     if pid is not None:
         row["pid"] = int(pid)
+    breaker = getattr(handle, "breaker_state", None)
+    if breaker is not None:
+        row["breaker"] = str(breaker)
+    ewma = getattr(handle, "latency_ewma", None)
+    if ewma is not None:
+        row["latency_ewma_seconds"] = round(float(ewma), 4)
+    address = getattr(handle, "address", None)
+    if address is not None:
+        row["address"] = str(address)
     return row
 
 
@@ -133,8 +158,13 @@ class ProcessReplicaHandle:
         stale_after: Optional[float] = None,
         request_timeout: float = 120.0,
         on_death: Optional[Callable[["ProcessReplicaHandle", List[Orphan]], None]] = None,
+        auth_secret: Optional[str] = None,
+        policy: Optional[FailurePolicy] = None,
+        on_health_event: Optional[Callable[["ProcessReplicaHandle", str], None]] = None,
     ) -> None:
         self.replica_id = int(replica_id)
+        self.host = host
+        self.port = int(port)
         #: Child process id; filled in by the supervisor after spawn.
         self.pid: Optional[int] = None
         #: Times this replica slot has been restarted (supervisor-owned).
@@ -142,26 +172,93 @@ class ProcessReplicaHandle:
         #: Supervisor hook replacing :meth:`shutdown`'s default behaviour.
         self.terminate: Optional[Callable[..., None]] = None
         self.heartbeat_interval = float(heartbeat_interval)
+        if not 0.001 <= self.heartbeat_interval <= 60.0:
+            raise ValueError(
+                "heartbeat_interval must be within [0.001, 60] seconds, got "
+                f"{heartbeat_interval!r}"
+            )
         self.stale_after = (
             float(stale_after) if stale_after is not None
             else max(1.0, 20.0 * self.heartbeat_interval)
         )
+        if self.stale_after <= self.heartbeat_interval:
+            raise ValueError(
+                f"stale_after ({self.stale_after}s) must exceed the heartbeat "
+                f"interval ({self.heartbeat_interval}s); a threshold below one "
+                "beat gates a healthy replica forever"
+            )
+        self.policy = policy if policy is not None else FailurePolicy(
+            request_timeout=float(request_timeout)
+        )
+        self.request_timeout = self.policy.request_timeout
         self._on_death = on_death
+        self._on_health_event = on_health_event
+        self._auth_secret = auth_secret
+        self._rng = random.Random(f"repro-handle-{self.replica_id}")
         self._lock = threading.Lock()
         self._futures: Dict[int, "Future[SolveResponse]"] = {}
         self._pending: Dict[int, SolveRequest] = {}
-        self._dead = False
+        self._submitted_at: Dict[int, float] = {}
+        self._dead = True  # until the first dial lands
+        self._closing = False
         self._heartbeat: Optional[Dict[str, Any]] = None
         self._heartbeat_at: Optional[float] = None
         self._connected_at = time.monotonic()
-        self._client = FramedServiceClient(
-            f"{host}:{port}", timeout=request_timeout, on_close=self._connection_lost
+        self._epoch = 0
+        self._client: Optional[FramedServiceClient] = None
+        self._dial_timeout = self.request_timeout
+        self._breaker = self.policy.make_breaker(
+            rng=self._rng, on_transition=self._breaker_transition
         )
+        self._gray = self.policy.make_gray_detector(on_change=self._gray_change)
+        self._dial()
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def _dial(self) -> None:
+        """(Re)connect: one framed connection plus a heartbeat subscription.
+
+        Each successful dial bumps the connection *epoch*; loss callbacks
+        and heartbeats are tagged with the epoch they belong to, so a
+        stale connection dying late cannot poison the live one.
+        """
+        with self._lock:
+            epoch = self._epoch + 1
+        client = FramedServiceClient(
+            f"{self.host}:{self.port}",
+            timeout=self.request_timeout,
+            on_close=lambda: self._connection_lost(epoch),
+            auth_secret=self._auth_secret,
+        )
+        # Subscribing must not hang for the full request timeout when the
+        # peer is a blackhole — reconnect loops dial with a short fuse.
+        client.timeout = self._dial_timeout
         try:
-            self._client.start_heartbeats(self.heartbeat_interval, self._on_heartbeat)
+            client.start_heartbeats(
+                self.heartbeat_interval,
+                lambda document: self._on_heartbeat(epoch, document),
+            )
         except BaseException:
-            self._client.close()
+            client.close()
             raise
+        client.timeout = self.request_timeout
+        with self._lock:
+            if self._closing:
+                closing = True
+            else:
+                closing = False
+                old, self._client = self._client, client
+                self._epoch = epoch
+                self._dead = False
+                self._heartbeat = None
+                self._heartbeat_at = None
+                self._connected_at = time.monotonic()
+        if closing:
+            client.close()
+            raise ConnectionError("handle is closing; dial abandoned")
+        if old is not None:
+            old.close()
 
     # ------------------------------------------------------------------
     # submission / collection (the ReplicaHandle surface)
@@ -199,23 +296,78 @@ class ProcessReplicaHandle:
                 raise ServiceShutdownError(
                     f"replica {self.replica_id} process is down; submit rejected"
                 )
+        # The consuming breaker check: in HALF_OPEN this takes the single
+        # probe slot, which every exit path below must resolve.
+        if not self._breaker.allows():
+            raise ServiceShutdownError(
+                f"replica {self.replica_id} circuit breaker open; submit rejected"
+            )
+        with self._lock:
+            if self._dead:
+                self._breaker.record_failure()
+                raise ServiceShutdownError(
+                    f"replica {self.replica_id} process is down; submit rejected"
+                )
+            # The future is visible now so an early push can settle it, but
+            # the request is NOT committed to ``_pending`` until the submit
+            # round trip lands.  ``_abandon`` orphans only committed
+            # requests: an *uncommitted* submit that dies mid-flight raises
+            # to its caller, who retries — if it were also orphaned, the
+            # same id would be resubmitted twice (caller retry + re-homing)
+            # and the two registrations would clobber each other on the
+            # surviving replica, losing the answer.
             self._futures[request_id] = future
-            self._pending[request_id] = request
+        client = self._client
+        submitted_at = time.monotonic()
         try:
-            self._client.submit_push(wire.encode_request(request), _deliver)
+            client.submit_push(wire.encode_request(request), _deliver)
         except (ConnectionError, OSError) as exc:
-            with self._lock:
-                self._futures.pop(request_id, None)
-                self._pending.pop(request_id, None)
+            self._breaker.record_failure()
+            self._forget(request_id)
             raise ServiceShutdownError(
                 f"replica {self.replica_id} connection lost: {exc}"
             ) from exc
-        except BaseException:
-            with self._lock:
-                self._futures.pop(request_id, None)
-                self._pending.pop(request_id, None)
+        except ServiceError:
+            # The replica answered (e.g. queue-full): responsive, not broken.
+            self._breaker.record_success()
+            self._forget(request_id)
             raise
+        except BaseException:
+            self._breaker.record_failure()
+            self._forget(request_id)
+            raise
+        dead_in_flight = False
+        early_settled = False
+        with self._lock:
+            if future.done():
+                # Pushed before the commit: already settled, nothing
+                # pending — but ``_settle`` found no timestamp, so the
+                # latency sample is fed below instead.
+                early_settled = True
+            elif self._dead:
+                # The connection died during the round trip.  _abandon ran
+                # while this submit was uncommitted, so nobody re-homes it:
+                # hand the retry to the caller instead of losing the job.
+                self._futures.pop(request_id, None)
+                dead_in_flight = True
+            else:
+                self._pending[request_id] = request
+                self._submitted_at[request_id] = submitted_at
+        if early_settled:
+            self._gray.observe(time.monotonic() - submitted_at)
+        if dead_in_flight:
+            self._breaker.record_failure()
+            raise ServiceShutdownError(
+                f"replica {self.replica_id} connection lost while the submit "
+                "was in flight; submit rejected"
+            )
         return request_id
+
+    def _forget(self, request_id: int) -> None:
+        with self._lock:
+            self._futures.pop(request_id, None)
+            self._pending.pop(request_id, None)
+            self._submitted_at.pop(request_id, None)
 
     def result(self, request_id: int, timeout: Optional[float] = None) -> SolveResponse:
         with self._lock:
@@ -243,21 +395,54 @@ class ProcessReplicaHandle:
     def _settle(self, request_id: int, response: SolveResponse) -> None:
         with self._lock:
             self._pending.pop(request_id, None)
+            submitted = self._submitted_at.pop(request_id, None)
             future = self._futures.get(request_id)
+        # A delivered response — whatever its JobStatus — means the
+        # replica's transport works: feed the breaker and the EWMA.
+        self._breaker.record_success()
+        if submitted is not None:
+            self._gray.observe(time.monotonic() - submitted)
         if future is not None and not future.done():
             future.set_result(response)
 
     # ------------------------------------------------------------------
     # advertised health
     # ------------------------------------------------------------------
-    def _on_heartbeat(self, document: Dict[str, Any]) -> None:
+    def _on_heartbeat(self, epoch: int, document: Dict[str, Any]) -> None:
         try:
             beat = wire.decode_heartbeat(document)
         except ServiceError:
             return
         with self._lock:
+            if epoch != self._epoch:
+                return  # a zombie connection's beat: ignore
             self._heartbeat = beat
             self._heartbeat_at = time.monotonic()
+
+    def _breaker_transition(self, old: str, new: str) -> None:
+        if new == BREAKER_OPEN:
+            self._emit_health("breaker_open")
+        elif new == BREAKER_CLOSED and old != BREAKER_CLOSED:
+            self._emit_health("breaker_closed")
+
+    def _gray_change(self, gated: bool) -> None:
+        self._emit_health("gray_degraded" if gated else "gray_recovered")
+
+    def _emit_health(self, kind: str) -> None:
+        callback = self._on_health_event
+        if callback is not None:
+            try:
+                callback(self, kind)
+            except Exception:  # noqa: BLE001 — observers must not break the handle
+                pass
+
+    @property
+    def breaker_state(self) -> str:
+        return self._breaker.state
+
+    @property
+    def latency_ewma(self) -> Optional[float]:
+        return self._gray.ewma
 
     @property
     def live(self) -> bool:
@@ -278,6 +463,10 @@ class ProcessReplicaHandle:
             if self._dead:
                 return False
             beat, at = self._heartbeat, self._heartbeat_at
+        if not self._breaker.would_allow():
+            return False  # breaker open: hide from placement until the probe window
+        if self._gray.should_gate():
+            return False  # degraded-but-alive: health-gated like a stale beat
         if beat is None:
             # Between connect and the first beat the child is presumed
             # willing — it just bound its port and asked for traffic.
@@ -305,12 +494,16 @@ class ProcessReplicaHandle:
     # ------------------------------------------------------------------
     # death / orphan hand-off
     # ------------------------------------------------------------------
-    def _connection_lost(self) -> None:
+    def _connection_lost(self, epoch: int) -> None:
+        with self._lock:
+            if epoch != self._epoch:
+                return  # a superseded connection dying late: not our problem
         self._abandon(notify=True)
 
     def mark_lost(self) -> None:
         """Force death handling (supervisor: child exited, socket stuck)."""
-        self._client.close()
+        if self._client is not None:
+            self._client.close()
         self._abandon(notify=True)
 
     def _abandon(self, *, notify: bool) -> None:
@@ -324,6 +517,8 @@ class ProcessReplicaHandle:
                 if request_id in self._futures
             ]
             self._pending.clear()
+            self._submitted_at.clear()
+        self._breaker.record_failure()  # a lost connection is a transport fault
         if notify and self._on_death is not None:
             self._on_death(self, orphans)
             return
@@ -378,6 +573,7 @@ class ProcessReplicaHandle:
     def close(self) -> None:
         """Drop the connection; unanswered jobs settle as CANCELLED."""
         with self._lock:
+            self._closing = True
             self._dead = True
             leftovers: List[Orphan] = [
                 (request, self._futures[request_id])
@@ -385,7 +581,9 @@ class ProcessReplicaHandle:
                 if request_id in self._futures
             ]
             self._pending.clear()
-        self._client.close()
+            self._submitted_at.clear()
+        if self._client is not None:
+            self._client.close()
         for request, future in leftovers:
             if not future.done():
                 future.set_result(SolveResponse(
@@ -400,3 +598,151 @@ class ProcessReplicaHandle:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Parse ``host:port`` (optionally ``framed://host:port``) strictly."""
+    if "//" in address:
+        split = urlsplit(address)
+        host, port = split.hostname, split.port
+    else:
+        host, _, port_text = address.rpartition(":")
+        port = int(port_text) if port_text.isdigit() else None
+    if not host or not port:
+        raise ValueError(f"remote address must be 'host:port', got {address!r}")
+    return host, int(port)
+
+
+class RemoteReplicaHandle(ProcessReplicaHandle):
+    """A :class:`ReplicaHandle` for a replica on a *configured address*.
+
+    Same wire surface and health model as :class:`ProcessReplicaHandle`
+    — submit-and-push over one framed connection, advertised heartbeats,
+    orphans to ``on_death`` on connection loss — with two differences a
+    remote host demands:
+
+    * **Reconnect-and-rehome.**  Nobody respawns a remote host for us, so
+      after handing orphans to the exactly-once re-homing path the handle
+      keeps dialing the address with capped jittered backoff
+      (``policy.reconnect_backoff``).  A successful dial resets the
+      circuit breaker and fires ``on_reconnect(handle)`` so the owner can
+      restore the slot in placement.
+    * **A blackhole watchdog.**  A dead TCP peer errors out quickly, but
+      a *partitioned* one just goes silent while the connection looks
+      healthy.  When no heartbeat lands for ``dead_after`` seconds
+      (default ``2 * stale_after``) the handle declares the connection
+      lost itself, orphaning and re-homing in-flight work instead of
+      letting it hang.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        address: str,
+        *,
+        heartbeat_interval: float = 0.05,
+        stale_after: Optional[float] = None,
+        dead_after: Optional[float] = None,
+        request_timeout: float = 120.0,
+        dial_timeout: float = 10.0,
+        on_death: Optional[Callable[["ProcessReplicaHandle", List[Orphan]], None]] = None,
+        on_reconnect: Optional[Callable[["RemoteReplicaHandle"], None]] = None,
+        on_health_event: Optional[Callable[["ProcessReplicaHandle", str], None]] = None,
+        auth_secret: Optional[str] = None,
+        policy: Optional[FailurePolicy] = None,
+        reconnect: bool = True,
+    ) -> None:
+        host, port = parse_address(address)
+        interval = float(heartbeat_interval)
+        resolved_stale = (
+            float(stale_after) if stale_after is not None else max(1.0, 20.0 * interval)
+        )
+        resolved_dead = (
+            float(dead_after) if dead_after is not None else 2.0 * resolved_stale
+        )
+        if resolved_dead <= resolved_stale:
+            raise ValueError(
+                f"dead_after ({resolved_dead}s) must exceed stale_after "
+                f"({resolved_stale}s): staleness gates placement, dead_after "
+                "declares the connection lost"
+            )
+        super().__init__(
+            replica_id,
+            host,
+            port,
+            heartbeat_interval=interval,
+            stale_after=resolved_stale,
+            request_timeout=request_timeout,
+            on_death=on_death,
+            auth_secret=auth_secret,
+            policy=policy,
+            on_health_event=on_health_event,
+        )
+        self.address = f"{host}:{port}"
+        self.dead_after = resolved_dead
+        self._dial_timeout = min(float(dial_timeout), self.request_timeout)
+        self._on_reconnect = on_reconnect
+        self._reconnect_enabled = bool(reconnect)
+        self._dial_attempts = 0
+        self._next_dial_at = 0.0
+        self._gave_up = False
+        self._stop = threading.Event()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop,
+            name=f"repro-remote-{self.replica_id}",
+            daemon=True,
+        )
+        self._monitor_thread.start()
+
+    @property
+    def gave_up(self) -> bool:
+        """True when ``policy.max_reconnect_attempts`` was exhausted."""
+        return self._gave_up
+
+    @property
+    def reconnect_attempts(self) -> int:
+        return self._dial_attempts
+
+    def _monitor_loop(self) -> None:
+        tick = max(0.01, self.heartbeat_interval / 2.0)
+        while not self._stop.wait(tick):
+            if self.live:
+                if self.heartbeat_age > self.dead_after:
+                    # Blackhole/partition: the socket looks fine but the
+                    # peer has gone silent.  Declare it dead so orphans
+                    # re-home now instead of hanging until timeout.
+                    self.mark_lost()
+                continue
+            if not self._reconnect_enabled or self._gave_up:
+                continue
+            if time.monotonic() < self._next_dial_at:
+                continue
+            attempt = self._dial_attempts
+            self._dial_attempts = attempt + 1
+            try:
+                self._dial()
+            except (OSError, ConnectionError, ServiceError, FuturesTimeout):
+                self._breaker.record_failure()
+                limit = self.policy.max_reconnect_attempts
+                if limit is not None and self._dial_attempts >= limit:
+                    self._gave_up = True
+                    continue
+                delay = self.policy.reconnect_backoff.delay(attempt, rng=self._rng)
+                self._next_dial_at = time.monotonic() + delay
+                continue
+            self._dial_attempts = 0
+            self._next_dial_at = 0.0
+            self._breaker.reset()
+            callback = self._on_reconnect
+            if callback is not None:
+                try:
+                    callback(self)
+                except Exception:  # noqa: BLE001 — observers must not kill the loop
+                    pass
+
+    def close(self) -> None:
+        self._stop.set()
+        thread = self._monitor_thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=10.0)
+        super().close()

@@ -1,0 +1,547 @@
+"""Cross-host replica fleet: configured addresses, reconnect, re-home.
+
+A :class:`RemoteReplicaFleet` is the cross-host twin of
+:class:`~repro.serving.supervisor.ReplicaSupervisor`: it presents N
+replicas behind the exact :class:`~repro.serving.replicas.ReplicaSet`
+backend surface, but the replicas live at *configured addresses*
+(``host:port`` over the framed transport) instead of being child
+processes the parent spawned.  That one difference reshapes the whole
+lifecycle:
+
+* **No spawn, no respawn.**  The fleet cannot fork a replacement when a
+  host dies; each slot's :class:`~repro.serving.handles.RemoteReplicaHandle`
+  keeps *re-dialing* its address with capped jittered backoff
+  (``policy.reconnect_backoff``) until the host answers again or
+  ``policy.max_reconnect_attempts`` is exhausted.
+* **Death is ambiguous.**  A crashed host resets the TCP connection, but
+  a partitioned one just goes silent — the handle's ``dead_after``
+  watchdog converts silence into a death so in-flight work re-homes
+  instead of hanging.
+* **Re-homing is identical.**  Orphans of a dead host are resubmitted to
+  surviving hosts with the same request id and settle the original
+  future — exactly-once semantics survive host death the same way they
+  survive child death under the supervisor.  Orphans nobody can take are
+  *parked* and re-homed when a host reconnects.
+
+Lifecycle events (``connect``, ``death``, ``rehome``, ``rehome_failed``,
+``orphans_parked``, ``reconnected``, ``breaker_open``/``breaker_closed``,
+``gray_degraded``/``gray_recovered``, ``gave_up``, ``shutdown``) share
+the supervisor's schema via :class:`~repro.serving.events.EventRecorder`.
+
+:class:`RemoteServiceBackend` is the single-host degenerate case: one
+remote handle adapted to the *single-service* backend surface so an
+ingress (HTTP or framed) can front a service running on another host —
+the conformance suite uses it to prove a remote hop changes nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ServiceError, ServiceShutdownError
+from .events import EventRecorder
+from .framing import FramedServiceClient
+from .handles import Orphan, RemoteReplicaHandle, liveness_row
+from .metrics import ServiceMetrics
+from .policy import FailurePolicy
+from .replicas import ReplicaSet
+from .requests import JobStatus, SolveRequest, SolveResponse
+
+__all__ = ["RemoteReplicaFleet", "RemoteServiceBackend"]
+
+
+class RemoteReplicaFleet:
+    """N remote hosts behind the :class:`ReplicaSet` backend surface.
+
+    ``addresses`` is the static replica list (``host:port`` strings, one
+    per slot).  Parameters mirror the supervisor's where they overlap;
+    ``policy`` governs timeouts, reconnect backoff, circuit breaking and
+    gray-failure detection for every handle in the fleet.
+    """
+
+    def __init__(
+        self,
+        addresses: List[str],
+        *,
+        heartbeat_interval: float = 0.05,
+        heartbeat_timeout: Optional[float] = None,
+        dead_after: Optional[float] = None,
+        request_timeout: float = 120.0,
+        dial_timeout: float = 10.0,
+        auth_secret: Optional[str] = None,
+        policy: Optional[FailurePolicy] = None,
+        spill_inflight: Optional[int] = None,
+        auto_eject_after: int = 3,
+        shutdown_timeout: float = 30.0,
+        event_log: Optional[str] = None,
+    ) -> None:
+        if not addresses:
+            raise ValueError("a RemoteReplicaFleet needs at least one address")
+        self.addresses = [str(a) for a in addresses]
+        self.num_slots = len(self.addresses)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = (
+            float(heartbeat_timeout) if heartbeat_timeout is not None
+            else max(1.0, 20.0 * self.heartbeat_interval)
+        )
+        self.dead_after = dead_after
+        self.request_timeout = float(request_timeout)
+        self.dial_timeout = float(dial_timeout)
+        self.auth_secret = auth_secret
+        self.policy = policy or FailurePolicy(request_timeout=self.request_timeout)
+        self.spill_inflight = spill_inflight
+        self.auto_eject_after = int(auto_eject_after)
+        self.shutdown_timeout = float(shutdown_timeout)
+        self._recorder = EventRecorder(event_log)
+        self._lock = threading.RLock()
+        self._handles: List[Optional[RemoteReplicaHandle]] = [None] * self.num_slots
+        self._set: Optional[ReplicaSet] = None
+        self._closing = False
+        self._started = False
+        #: Orphans no survivor would take — re-homed on the next reconnect.
+        self._parked: List[Tuple[int, SolveRequest, Any]] = []
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def _record(self, event: str, replica_id: Optional[int] = None, **fields: Any) -> None:
+        self._recorder.record(event, replica_id, **fields)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Snapshot of every lifecycle event so far (oldest first)."""
+        return self._recorder.events()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "RemoteReplicaFleet":
+        """Dial every address, build the routing set."""
+        with self._lock:
+            if self._started:
+                raise ServiceError("fleet already started")
+            self._started = True
+        self._recorder.open()
+        try:
+            for replica_id, address in enumerate(self.addresses):
+                handle = RemoteReplicaHandle(
+                    replica_id,
+                    address,
+                    heartbeat_interval=self.heartbeat_interval,
+                    stale_after=self.heartbeat_timeout,
+                    dead_after=self.dead_after,
+                    request_timeout=self.request_timeout,
+                    dial_timeout=self.dial_timeout,
+                    auth_secret=self.auth_secret,
+                    policy=self.policy,
+                    on_death=self._host_connection_lost,
+                    on_reconnect=self._host_reconnected,
+                    on_health_event=self._health_event,
+                )
+                self._handles[replica_id] = handle
+                self._record("connect", replica_id, address=handle.address)
+        except BaseException:
+            for handle in self._handles:
+                if handle is not None:
+                    handle.close()
+            self._recorder.close()
+            raise
+        handles = list(self._handles)
+        self._set = ReplicaSet(
+            self.num_slots,
+            service_factory=lambda i: handles[i],
+            spill_inflight=self.spill_inflight,
+            auto_eject_after=self.auto_eject_after,
+        )
+        return self
+
+    def shutdown(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Disconnect from every host (the hosts themselves keep running).
+
+        A draining shutdown waits — up to ``shutdown_timeout`` — for
+        locally-submitted work to finish before dropping the
+        connections, so nothing the fleet accepted is cancelled.
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+        budget = self.shutdown_timeout if timeout is None else float(timeout)
+        if drain:
+            deadline = time.monotonic() + budget
+            while time.monotonic() < deadline:
+                busy = any(
+                    h is not None and h.live and h.inflight > 0 for h in self._handles
+                )
+                if not busy:
+                    break
+                time.sleep(0.01)
+        for handle in self._handles:
+            if handle is not None:
+                handle.close()
+        with self._lock:
+            parked, self._parked = self._parked, []
+        for _, request, future in parked:
+            if not future.done():
+                future.set_result(SolveResponse(
+                    request_id=request.request_id,
+                    status=JobStatus.CANCELLED,
+                    algorithm=request.algorithm,
+                    error="fleet shut down before the job could be re-homed",
+                ))
+        self._record("shutdown", drained=bool(drain))
+        self._recorder.close()
+
+    def __enter__(self) -> "RemoteReplicaFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # death handling / re-homing
+    # ------------------------------------------------------------------
+    def _host_connection_lost(
+        self, handle: RemoteReplicaHandle, orphans: List[Orphan]
+    ) -> None:
+        """Framed connection to a host dropped (crash, reset, partition)."""
+        with self._lock:
+            closing = self._closing
+        if closing:
+            self._fail_orphans(orphans, JobStatus.CANCELLED,
+                               "fleet shut down before the host answered")
+            return
+        self._record("death", handle.replica_id, address=handle.address,
+                     orphans=len(orphans))
+        parked = 0
+        parked_ids: List[int] = []
+        for request, future in orphans:
+            if self._rehome(handle.replica_id, request, future) == "parked":
+                parked += 1
+                parked_ids.append(request.request_id)
+        if parked:
+            self._record("orphans_parked", handle.replica_id, count=parked,
+                         request_ids=parked_ids)
+
+    def _rehome(self, from_replica: int, request: SolveRequest, future: Any) -> str:
+        """Resubmit one orphaned job to a surviving host.
+
+        Mirrors the supervisor's re-homing exactly: the job keeps its
+        request id, the surviving host's answer chains into the original
+        future, and when nobody can take it now but a host may reconnect,
+        the orphan is parked rather than failed.  Returns ``"rehomed"``,
+        ``"parked"`` or ``"failed"``.
+        """
+        def _settle(response: SolveResponse) -> None:
+            if not future.done():
+                future.set_result(response)
+
+        with self._lock:
+            candidates = [
+                h for h in self._handles if h is not None and h.live
+            ]
+        candidates = [h for h in candidates if h.accepting]
+        candidates.sort(key=lambda h: (h.inflight, h.replica_id))
+        last_error: Optional[ServiceError] = None
+        for handle in candidates:
+            try:
+                handle.submit_request(request, block=False)
+            except ServiceError as exc:
+                last_error = exc
+                continue
+            handle.on_response(request.request_id, _settle)
+            self._record("rehome", from_replica, request_id=request.request_id,
+                         ok=True, to=handle.replica_id)
+            return "rehomed"
+        with self._lock:
+            reconnect_coming = not self._closing and any(
+                h is not None and not h.gave_up for h in self._handles
+            )
+            if reconnect_coming:
+                self._parked.append((from_replica, request, future))
+        if reconnect_coming:
+            return "parked"
+        self._record("rehome_failed", from_replica, request_id=request.request_id,
+                     error=str(last_error) if last_error else "no reachable host")
+        _settle(SolveResponse(
+            request_id=request.request_id,
+            status=JobStatus.FAILED,
+            algorithm=request.algorithm,
+            error="host died and no reachable host accepted the job"
+                  + (f": {last_error}" if last_error else ""),
+        ))
+        return "failed"
+
+    @staticmethod
+    def _fail_orphans(
+        orphans: List[Orphan], status: JobStatus, message: str
+    ) -> None:
+        for request, future in orphans:
+            if not future.done():
+                future.set_result(SolveResponse(
+                    request_id=request.request_id,
+                    status=status,
+                    algorithm=request.algorithm,
+                    error=message,
+                ))
+
+    def _host_reconnected(self, handle: RemoteReplicaHandle) -> None:
+        with self._lock:
+            if self._closing:
+                return
+        self._record("reconnected", handle.replica_id, address=handle.address)
+        if self._set is not None:
+            try:
+                # Undo a routing auto-ejection; a *drained* host stays out.
+                self._set.restore(handle.replica_id)
+            except (ServiceError, KeyError):
+                pass
+        with self._lock:
+            parked, self._parked = self._parked, []
+        for from_replica, request, future in parked:
+            self._rehome(from_replica, request, future)
+
+    def _health_event(self, handle: Any, kind: str) -> None:
+        self._record(kind, handle.replica_id, address=getattr(handle, "address", None))
+
+    # ------------------------------------------------------------------
+    # the backend surface (delegation to the set)
+    # ------------------------------------------------------------------
+    def _require_set(self) -> ReplicaSet:
+        if self._set is None:
+            raise ServiceShutdownError("fleet not started")
+        return self._set
+
+    def submit_request(self, request: SolveRequest, *, block: bool = False,
+                       put_timeout: Optional[float] = None) -> int:
+        return self._require_set().submit_request(
+            request, block=block, put_timeout=put_timeout
+        )
+
+    def result(self, request_id: int, timeout: Optional[float] = None) -> SolveResponse:
+        return self._require_set().result(request_id, timeout=timeout)
+
+    def on_response(self, request_id: int, callback: Callable[[SolveResponse], None]) -> None:
+        self._require_set().on_response(request_id, callback)
+
+    def solve(self, function, initial_labels, *, timeout=None, **submit_kwargs) -> SolveResponse:
+        return self._require_set().solve(
+            function, initial_labels, timeout=timeout, **submit_kwargs
+        )
+
+    @property
+    def accepting(self) -> bool:
+        return self._set is not None and not self._closing and self._set.accepting
+
+    @property
+    def inflight(self) -> int:
+        return 0 if self._set is None else self._set.inflight
+
+    @property
+    def queue_depth(self) -> int:
+        return 0 if self._set is None else self._set.queue_depth
+
+    @property
+    def num_replicas(self) -> int:
+        return self.num_slots
+
+    def metrics(self) -> ServiceMetrics:
+        return self._require_set().metrics()
+
+    def replica_rows(self) -> List[Dict[str, object]]:
+        return self._require_set().replica_rows()
+
+    def eject(self, replica_id: int, *, drain: bool = True) -> None:
+        self._require_set().eject(replica_id, drain=drain)
+
+    def restore(self, replica_id: int) -> None:
+        self._require_set().restore(replica_id)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        return self._require_set().drain(timeout)
+
+
+class RemoteServiceBackend:
+    """One remote host adapted to the single-service backend surface.
+
+    An ingress fronts this exactly as it fronts an in-process
+    :class:`~repro.serving.service.SolveService`: jobs flow through a
+    :class:`~repro.serving.handles.RemoteReplicaHandle` (submit-and-push,
+    heartbeats, reconnect), while health/metrics/admin reads go over a
+    separate framed *admin* connection so they reflect the remote host
+    live rather than a stale local cache.
+
+    If the remote host itself fronts a replica set, its admin surface
+    (``replica_rows``/``eject``/``restore``) is forwarded; against a
+    single-service host those attributes simply do not exist, so an
+    ingress probing ``hasattr(backend, "replica_rows")`` keeps its
+    single-service 404 behavior.
+    """
+
+    _FORWARDED_ADMIN = ("replica_rows", "eject", "restore")
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        heartbeat_interval: float = 0.02,
+        stale_after: Optional[float] = None,
+        dead_after: Optional[float] = None,
+        request_timeout: float = 120.0,
+        dial_timeout: float = 5.0,
+        auth_secret: Optional[str] = None,
+        policy: Optional[FailurePolicy] = None,
+    ) -> None:
+        self._address = str(address)
+        self._auth_secret = auth_secret
+        self._timeout = float(request_timeout)
+        self._closing = False
+        self._handle = RemoteReplicaHandle(
+            0,
+            self._address,
+            heartbeat_interval=heartbeat_interval,
+            stale_after=stale_after,
+            dead_after=dead_after,
+            request_timeout=request_timeout,
+            dial_timeout=dial_timeout,
+            auth_secret=auth_secret,
+            policy=policy,
+            on_death=self._host_connection_lost,
+        )
+        self._admin_lock = threading.Lock()
+        self._admin: Optional[FramedServiceClient] = None
+        try:
+            status, _, _ = self._admin_call(
+                lambda c: c.request("GET", "/v1/replicas")
+            )
+            self._has_replicas = status == 200
+        except BaseException:
+            self._handle.close()
+            self._close_admin()
+            raise
+
+    # -- admin plumbing ------------------------------------------------
+    def _close_admin(self) -> None:
+        with self._admin_lock:
+            admin, self._admin = self._admin, None
+        if admin is not None:
+            admin.close()
+
+    def _admin_call(self, fn: Callable[[FramedServiceClient], Any]) -> Any:
+        """Run one admin RPC, redialing the admin connection once if dead."""
+        with self._admin_lock:
+            if self._closing:
+                raise ServiceShutdownError("remote backend is closed")
+            client = self._admin
+        if client is not None:
+            try:
+                return fn(client)
+            except (ConnectionError, OSError):
+                pass
+        fresh = FramedServiceClient(
+            self._address, timeout=self._timeout, auth_secret=self._auth_secret
+        )
+        with self._admin_lock:
+            stale, self._admin = self._admin, fresh
+        if stale is not None:
+            stale.close()
+        return fn(fresh)
+
+    def _host_connection_lost(self, handle: Any, orphans: List[Orphan]) -> None:
+        # There is nobody to re-home to — the remote host *is* the
+        # service.  The handle keeps re-dialing; its orphans fail fast so
+        # callers can retry instead of hanging.
+        for request, future in orphans:
+            if not future.done():
+                future.set_result(SolveResponse(
+                    request_id=request.request_id,
+                    status=JobStatus.FAILED,
+                    algorithm=request.algorithm,
+                    error="remote host died before answering",
+                ))
+
+    # -- job flow (through the handle) ---------------------------------
+    def submit_request(self, request: SolveRequest, *, block: bool = False,
+                       put_timeout: Optional[float] = None) -> int:
+        return self._handle.submit_request(
+            request, block=block, put_timeout=put_timeout
+        )
+
+    def result(self, request_id: int, timeout: Optional[float] = None) -> SolveResponse:
+        return self._handle.result(request_id, timeout=timeout)
+
+    def on_response(self, request_id: int, callback: Callable[[SolveResponse], None]) -> None:
+        self._handle.on_response(request_id, callback)
+
+    # -- health / metrics (live admin reads) ---------------------------
+    @property
+    def accepting(self) -> bool:
+        if self._closing:
+            return False
+        try:
+            _, body = self._admin_call(lambda c: c.healthz())
+            return bool(body.get("accepting", False))
+        except (ServiceError, ConnectionError, OSError, KeyError, AttributeError):
+            return self._handle.live and self._handle.accepting
+
+    @property
+    def inflight(self) -> int:
+        return self._handle.inflight
+
+    @property
+    def queue_depth(self) -> int:
+        return self._handle.queue_depth
+
+    def metrics(self) -> ServiceMetrics:
+        try:
+            body = self._admin_call(lambda c: c.metrics())
+            return ServiceMetrics.from_dict(body["metrics"])
+        except (ServiceError, ConnectionError, OSError, KeyError):
+            return self._handle.metrics()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        return self._handle.drain(timeout)
+
+    # -- replica admin, forwarded only when the host has replicas ------
+    def __getattr__(self, name: str) -> Any:
+        # Conditional surface: these exist only when the remote host
+        # fronts a replica set, so hasattr() probes stay truthful.
+        if name in RemoteServiceBackend._FORWARDED_ADMIN and self.__dict__.get(
+            "_has_replicas"
+        ):
+            return getattr(self, "_forward_" + name)
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def _forward_replica_rows(self) -> List[Dict[str, Any]]:
+        return self._admin_call(lambda c: c.replicas())
+
+    def _forward_eject(self, replica_id: int, *, drain: bool = True) -> None:
+        self._admin_call(lambda c: c.eject(replica_id, drain=drain))
+
+    def _forward_restore(self, replica_id: int) -> None:
+        self._admin_call(lambda c: c.restore(replica_id))
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def handle(self) -> RemoteReplicaHandle:
+        return self._handle
+
+    def liveness(self) -> Dict[str, Any]:
+        return liveness_row(self._handle)
+
+    def shutdown(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._closing = True
+        self._handle.close()
+        self._close_admin()
+
+    def __enter__(self) -> "RemoteServiceBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

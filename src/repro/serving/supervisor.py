@@ -33,14 +33,16 @@ What the supervisor adds over the set is a *lifecycle*:
   collection through the old slot keeps working.
 
 Every transition is recorded as a structured event (``spawn``, ``death``,
-``rehome``, ``restart_scheduled``, ``restarted``, ``heartbeat_stall``,
+``rehome``, ``rehome_failed``, ``orphans_parked``, ``restart_scheduled``,
+``restarted``, ``heartbeat_stall``, ``breaker_open``/``breaker_closed``,
 ``gave_up``, ``shutdown``) — queryable via :meth:`events` and optionally
-appended as JSON lines to ``event_log`` for CI artifacts.
+appended as JSON lines to ``event_log`` for CI artifacts.  The recorder
+(and the event schema) is shared with the cross-host
+:class:`~repro.serving.remote.RemoteReplicaFleet`.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import shutil
 import signal
@@ -53,8 +55,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import ServiceError, ServiceShutdownError
+from .events import EventRecorder
 from .handles import Orphan, ProcessReplicaHandle
 from .metrics import ServiceMetrics
+from .policy import BackoffPolicy
 from .replicas import ReplicaSet
 from .requests import JobStatus, SolveRequest, SolveResponse
 
@@ -136,12 +140,28 @@ class ReplicaSupervisor:
         self.seed = int(seed)
         self.host = host
         self.heartbeat_interval = float(heartbeat_interval)
+        if not 0.001 <= self.heartbeat_interval <= 60.0:
+            raise ValueError(
+                f"heartbeat_interval must be in [0.001, 60] seconds, "
+                f"got {self.heartbeat_interval}"
+            )
         self.heartbeat_timeout = (
             float(heartbeat_timeout) if heartbeat_timeout is not None
             else max(1.0, 20.0 * self.heartbeat_interval)
         )
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                f"heartbeat_timeout ({self.heartbeat_timeout}s) must exceed "
+                f"heartbeat_interval ({self.heartbeat_interval}s)"
+            )
         self.restart_backoff = float(restart_backoff)
         self.restart_backoff_cap = float(restart_backoff_cap)
+        #: One backoff curve for the whole restart schedule (jitter-free so
+        #: restart timing stays deterministic for the event-log tests).
+        self._restart_policy = BackoffPolicy(
+            base=self.restart_backoff, cap=self.restart_backoff_cap,
+            multiplier=2.0, jitter=0.0,
+        )
         self.max_restarts = int(max_restarts)
         self.spill_inflight = spill_inflight
         self.auto_eject_after = int(auto_eject_after)
@@ -154,9 +174,7 @@ class ReplicaSupervisor:
         self._stop = threading.Event()
         self._closing = False
         self._started = False
-        self._events: List[Dict[str, Any]] = []
-        self._event_log_path = event_log
-        self._event_log = None
+        self._recorder = EventRecorder(event_log)
         #: Orphans no survivor would take — re-homed after the next restart.
         self._parked: List[tuple] = []
         self._tmpdir = tempfile.mkdtemp(prefix="repro-replicas-")
@@ -165,20 +183,11 @@ class ReplicaSupervisor:
     # events
     # ------------------------------------------------------------------
     def _record(self, event: str, replica_id: Optional[int] = None, **fields: Any) -> None:
-        entry: Dict[str, Any] = {"ts": round(time.time(), 4), "event": event}
-        if replica_id is not None:
-            entry["replica"] = int(replica_id)
-        entry.update(fields)
-        with self._lock:
-            self._events.append(entry)
-            if self._event_log is not None:
-                self._event_log.write(json.dumps(entry) + "\n")
-                self._event_log.flush()
+        self._recorder.record(event, replica_id, **fields)
 
     def events(self) -> List[Dict[str, Any]]:
         """Snapshot of every lifecycle event so far (oldest first)."""
-        with self._lock:
-            return [dict(e) for e in self._events]
+        return self._recorder.events()
 
     # ------------------------------------------------------------------
     # spawning
@@ -246,6 +255,7 @@ class ReplicaSupervisor:
                 heartbeat_interval=self.heartbeat_interval,
                 stale_after=self.heartbeat_timeout,
                 on_death=self._child_connection_lost,
+                on_health_event=self._replica_health_event,
             )
         except BaseException:
             proc.kill()
@@ -279,11 +289,7 @@ class ReplicaSupervisor:
             if self._started:
                 raise ServiceError("supervisor already started")
             self._started = True
-            if self._event_log_path:
-                log_dir = os.path.dirname(self._event_log_path)
-                if log_dir:
-                    os.makedirs(log_dir, exist_ok=True)
-                self._event_log = open(self._event_log_path, "a", encoding="utf-8")
+        self._recorder.open()
         try:
             for slot in self._slots:
                 self._spawn_child(slot)
@@ -333,8 +339,13 @@ class ReplicaSupervisor:
             exit_code = proc.returncode
         self._record("death", slot.replica_id, pid=handle.pid,
                      exit_code=exit_code, orphans=len(orphans))
+        parked_ids: List[int] = []
         for request, future in orphans:
-            self._rehome(slot.replica_id, request, future)
+            if self._rehome(slot.replica_id, request, future) == "parked":
+                parked_ids.append(request.request_id)
+        if parked_ids:
+            self._record("orphans_parked", slot.replica_id,
+                         count=len(parked_ids), request_ids=parked_ids)
         with self._lock:
             slot.proc = None
             slot.restarts += 1
@@ -343,17 +354,14 @@ class ReplicaSupervisor:
                 slot.restart_at = None
                 self._record("gave_up", slot.replica_id, restarts=slot.restarts - 1)
                 return
-            delay = min(
-                self.restart_backoff_cap,
-                self.restart_backoff * (2 ** (slot.restarts - 1)),
-            )
+            delay = self._restart_policy.delay(slot.restarts - 1)
             slot.restart_at = time.monotonic() + delay
         self._record("restart_scheduled", slot.replica_id,
                      delay=round(delay, 4), attempt=slot.restarts)
 
     def _rehome(
         self, from_replica: int, request: SolveRequest, future: "Any"
-    ) -> None:
+    ) -> str:
         """Resubmit one orphaned job to a surviving replica.
 
         The job is submitted to the surviving handle *directly*, not
@@ -366,7 +374,10 @@ class ReplicaSupervisor:
 
         When no survivor accepts (single-replica deployment, total
         outage), the orphan is *parked* and re-homed to the next restarted
-        child — it only fails once every slot has given up.
+        child — it only fails once every slot has given up.  Returns
+        ``"rehomed"``, ``"parked"`` or ``"failed"`` so the caller can
+        summarise an episode (one ``orphans_parked`` event per death, not
+        one per job).
         """
         def _settle(response: SolveResponse) -> None:
             if not future.done():
@@ -389,7 +400,7 @@ class ReplicaSupervisor:
             handle.on_response(request.request_id, _settle)
             self._record("rehome", from_replica, request_id=request.request_id,
                          ok=True, to=handle.replica_id)
-            return
+            return "rehomed"
         with self._lock:
             restart_coming = not self._closing and any(
                 not slot.gave_up for slot in self._slots
@@ -397,11 +408,9 @@ class ReplicaSupervisor:
             if restart_coming:
                 self._parked.append((from_replica, request, future))
         if restart_coming:
-            self._record("rehome_parked", from_replica,
-                         request_id=request.request_id)
-            return
-        self._record("rehome", from_replica, request_id=request.request_id,
-                     ok=False, error=str(last_error) if last_error else "no survivors")
+            return "parked"
+        self._record("rehome_failed", from_replica, request_id=request.request_id,
+                     error=str(last_error) if last_error else "no survivors")
         _settle(SolveResponse(
             request_id=request.request_id,
             status=JobStatus.FAILED,
@@ -409,6 +418,11 @@ class ReplicaSupervisor:
             error="replica died and no surviving replica accepted the job"
                   + (f": {last_error}" if last_error else ""),
         ))
+        return "failed"
+
+    def _replica_health_event(self, handle: ProcessReplicaHandle, kind: str) -> None:
+        """Breaker/gray transitions from a handle land in the event log."""
+        self._record(kind, handle.replica_id)
 
     def _fail_orphans(
         self, orphans: List[Orphan], status: JobStatus, message: str
@@ -475,10 +489,7 @@ class ReplicaSupervisor:
                     slot.gave_up = True
                     self._record("gave_up", slot.replica_id, restarts=slot.restarts - 1)
                     return
-                delay = min(
-                    self.restart_backoff_cap,
-                    self.restart_backoff * (2 ** (slot.restarts - 1)),
-                )
+                delay = self._restart_policy.delay(slot.restarts - 1)
                 slot.restart_at = time.monotonic() + delay
             self._record("restart_scheduled", slot.replica_id,
                          delay=round(delay, 4), attempt=slot.restarts,
@@ -609,11 +620,7 @@ class ReplicaSupervisor:
         self._cleanup()
 
     def _cleanup(self) -> None:
-        with self._lock:
-            log = self._event_log
-            self._event_log = None
-        if log is not None:
-            log.close()
+        self._recorder.close()
         shutil.rmtree(self._tmpdir, ignore_errors=True)
 
     def __enter__(self) -> "ReplicaSupervisor":

@@ -59,6 +59,7 @@ from ..errors import (
     WireFormatError,
 )
 from . import wire
+from .policy import BackoffPolicy, FailurePolicy
 from .requests import JobStatus, SolveRequest, SolveResponse
 
 _REASONS = {
@@ -193,6 +194,11 @@ class HttpIngress:
                 task.cancel()
             if self._conn_tasks:
                 await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            # writer.close() tears transports down via call_soon; yield a
+            # few loop iterations so those callbacks run before asyncio.run
+            # closes the loop with them still pending (ResourceWarning).
+            for _ in range(3):
+                await asyncio.sleep(0)
 
     def start_in_thread(self) -> "HttpIngress":
         """Run the server on a dedicated event-loop thread; returns once bound."""
@@ -624,6 +630,12 @@ class ServiceClientBase:
     ``busy_backoff_cap``.  Only whole-request admission rejections are
     retried — raw :meth:`request` calls never retry, so callers counting
     429s (or asserting immediate backpressure) see the wire as-is.
+
+    The retry curve is one :class:`~repro.serving.policy.BackoffPolicy` —
+    the same implementation that paces reconnects and breaker windows.
+    Pass ``policy=`` (a :class:`~repro.serving.policy.FailurePolicy`) to
+    source both the request timeout and the retry curve from a shared
+    policy object instead of the individual knobs.
     """
 
     def __init__(
@@ -634,14 +646,26 @@ class ServiceClientBase:
         busy_backoff_base: float = 0.1,
         busy_backoff_cap: float = 30.0,
         busy_jitter: float = 0.25,
+        policy: Optional[FailurePolicy] = None,
         _sleep: Callable[[float], None] = time.sleep,
         _rng: Optional[random.Random] = None,
     ) -> None:
-        self.timeout = timeout
+        self.policy = policy
+        if policy is not None:
+            self.timeout = policy.request_timeout
+            self._busy_backoff = policy.retry_backoff
+        else:
+            self.timeout = timeout
+            self._busy_backoff = BackoffPolicy(
+                base=float(busy_backoff_base),
+                cap=float(busy_backoff_cap),
+                multiplier=2.0,
+                jitter=float(busy_jitter),
+            )
         self.busy_retries = int(busy_retries)
-        self.busy_backoff_base = float(busy_backoff_base)
-        self.busy_backoff_cap = float(busy_backoff_cap)
-        self.busy_jitter = float(busy_jitter)
+        self.busy_backoff_base = self._busy_backoff.base
+        self.busy_backoff_cap = self._busy_backoff.cap
+        self.busy_jitter = self._busy_backoff.jitter
         self._sleep = _sleep
         self._rng = _rng if _rng is not None else random.Random()
 
@@ -672,11 +696,7 @@ class ServiceClientBase:
         return None
 
     def _busy_delay(self, attempt: int, retry_after: Optional[float]) -> float:
-        base = retry_after if retry_after is not None and retry_after > 0 else self.busy_backoff_base
-        delay = min(self.busy_backoff_cap, base * (2 ** attempt))
-        if self.busy_jitter > 0:
-            delay *= 1.0 + self._rng.random() * self.busy_jitter
-        return min(self.busy_backoff_cap, delay)
+        return self._busy_backoff.delay(attempt, hint=retry_after, rng=self._rng)
 
     def _send_with_retry(
         self, send: Callable[[], Tuple[int, Dict[str, str], Any]]

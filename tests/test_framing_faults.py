@@ -1,0 +1,375 @@
+"""Byte-level fault injection against the framed transport.
+
+The framed protocol's failure contract is *drop, never trust*: a frame
+that fails its length sanity check or CRC, a kind the peer may not send,
+or a malformed REQUEST body must tear down that one connection — without
+an answer, without crashing the server, and without disturbing other
+connections.  On the client side the mirror-image contract holds: a
+corrupted or truncated reply releases every waiter with
+``ConnectionError`` (nobody hangs until their timeout) and fires the
+``on_close`` death callback exactly once.
+
+These tests speak raw sockets so every fault is byte-exact and
+deterministic — no chaos schedule involved.
+"""
+
+import socket
+import struct
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from urllib.parse import urlsplit
+
+import pytest
+
+from repro.serving import FramedIngress, FramedServiceClient, JobStatus, SolveService
+from repro.serving.framing import (
+    KIND_RESPONSE,
+    MAGIC,
+    encode_auth_frame,
+    encode_reply_frame,
+    encode_request_frame,
+)
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One small framed service shared by all server-side fault tests."""
+    backend = SolveService(workers=1, max_batch_delay=0.001)
+    ingress = FramedIngress(backend).start_in_thread()
+    try:
+        yield ingress.url
+    finally:
+        ingress.close()
+        backend.shutdown()
+
+
+@pytest.fixture(scope="module")
+def served_authed():
+    backend = SolveService(workers=1, max_batch_delay=0.001)
+    ingress = FramedIngress(backend, auth_secret="open sesame").start_in_thread()
+    try:
+        yield ingress.url
+    finally:
+        ingress.close()
+        backend.shutdown()
+
+
+def _raw_connect(url):
+    split = urlsplit(url)
+    sock = socket.create_connection((split.hostname, split.port), timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def _assert_dropped_without_answer(sock):
+    """The server must close the connection having sent zero bytes."""
+    try:
+        data = sock.recv(4096)
+    except (ConnectionResetError, BrokenPipeError):
+        return
+    assert data == b"", f"expected a silent drop, got {data[:64]!r}"
+
+
+def _assert_still_serving(url):
+    """A fault on one connection must not take the listener down."""
+    with FramedServiceClient(url, timeout=10) as client:
+        status, health = client.healthz()
+    assert status == 200
+    assert health["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# server side: frame-level faults
+# ----------------------------------------------------------------------
+def test_valid_request_over_raw_socket_baseline(served):
+    # Sanity-check the hand-rolled byte path the fault tests rely on.
+    sock = _raw_connect(served)
+    try:
+        sock.sendall(MAGIC + encode_request_frame(7, "GET", "/healthz", b""))
+        header = sock.recv(8, socket.MSG_WAITALL)
+        length, crc = struct.unpack("!II", header)
+        blob = sock.recv(length, socket.MSG_WAITALL)
+        corr_id, kind = struct.unpack_from("!QB", blob)
+        assert (corr_id, kind) == (7, KIND_RESPONSE)
+    finally:
+        sock.close()
+
+
+@pytest.mark.parametrize(
+    "garbage",
+    [
+        b"\x00" * 8,                         # declared length 0 (< minimum 9)
+        struct.pack("!II", 0xFFFFFFFF, 0),   # absurd declared length
+        struct.pack("!II", 8, 0),            # shorter than corr_id+kind
+    ],
+    ids=["zero-length", "huge-length", "sub-minimum-length"],
+)
+def test_garbage_after_magic_is_dropped(served, garbage):
+    sock = _raw_connect(served)
+    try:
+        sock.sendall(MAGIC + garbage)
+        _assert_dropped_without_answer(sock)
+    finally:
+        sock.close()
+    _assert_still_serving(served)
+
+
+def test_truncated_frame_header_then_eof(served):
+    sock = _raw_connect(served)
+    try:
+        sock.sendall(MAGIC + b"\x00\x00\x00")  # 3 of 8 header bytes, then EOF
+        sock.shutdown(socket.SHUT_WR)
+        _assert_dropped_without_answer(sock)
+    finally:
+        sock.close()
+    _assert_still_serving(served)
+
+
+def test_mid_frame_eof_is_dropped(served):
+    frame = encode_request_frame(1, "GET", "/healthz", b"")
+    sock = _raw_connect(served)
+    try:
+        sock.sendall(MAGIC + frame[: len(frame) // 2])  # die mid-payload
+        sock.shutdown(socket.SHUT_WR)
+        _assert_dropped_without_answer(sock)
+    finally:
+        sock.close()
+    _assert_still_serving(served)
+
+
+def test_crc_mismatch_is_dropped_without_answer(served):
+    frame = bytearray(encode_request_frame(1, "GET", "/healthz", b""))
+    frame[-1] ^= 0x01  # flip one payload bit; header CRC now disagrees
+    sock = _raw_connect(served)
+    try:
+        sock.sendall(MAGIC + bytes(frame))
+        _assert_dropped_without_answer(sock)
+    finally:
+        sock.close()
+    _assert_still_serving(served)
+
+
+def test_reply_kind_from_client_is_dropped(served):
+    # Clients may only send REQUEST (and a leading AUTH); a RESPONSE kind
+    # is a protocol violation even with a valid CRC.
+    frame = encode_reply_frame(1, KIND_RESPONSE, 200, {}, b"{}")
+    sock = _raw_connect(served)
+    try:
+        sock.sendall(MAGIC + frame)
+        _assert_dropped_without_answer(sock)
+    finally:
+        sock.close()
+    _assert_still_serving(served)
+
+
+def test_unknown_method_code_is_dropped(served):
+    # kind REQUEST with method code 9 (only GET=0/POST=1 exist).
+    payload = struct.pack("!QBBH", 1, 1, 9, 0)
+    frame = struct.pack("!II", len(payload), zlib.crc32(payload)) + payload
+    sock = _raw_connect(served)
+    try:
+        sock.sendall(MAGIC + frame)
+        _assert_dropped_without_answer(sock)
+    finally:
+        sock.close()
+    _assert_still_serving(served)
+
+
+def test_request_shorter_than_declared_path_is_dropped(served):
+    # Declares a 200-byte path but carries 2 bytes: decode_request_payload
+    # must reject it instead of reading garbage.
+    payload = struct.pack("!QBBH", 1, 1, 0, 200) + b"ab"
+    frame = struct.pack("!II", len(payload), zlib.crc32(payload)) + payload
+    sock = _raw_connect(served)
+    try:
+        sock.sendall(MAGIC + frame)
+        _assert_dropped_without_answer(sock)
+    finally:
+        sock.close()
+    _assert_still_serving(served)
+
+
+def test_fault_on_one_connection_leaves_concurrent_requests_alone(served):
+    # A concurrent well-behaved client must not notice a misbehaving peer.
+    with FramedServiceClient(served, timeout=10) as client:
+        sock = _raw_connect(served)
+        try:
+            bad = bytearray(encode_request_frame(1, "GET", "/healthz", b""))
+            bad[-1] ^= 0xFF
+            sock.sendall(MAGIC + bytes(bad))
+            result = client.solve([0, 0], [1, 1])
+            assert result.status is JobStatus.DONE
+            _assert_dropped_without_answer(sock)
+        finally:
+            sock.close()
+
+
+# ----------------------------------------------------------------------
+# server side: auth handshake
+# ----------------------------------------------------------------------
+def test_auth_correct_secret_serves(served_authed):
+    with FramedServiceClient(served_authed, timeout=10, auth_secret="open sesame") as client:
+        status, health = client.healthz()
+    assert status == 200
+    assert health["status"] == "ok"
+
+
+def test_auth_wrong_secret_drops_without_answer(served_authed):
+    sock = _raw_connect(served_authed)
+    try:
+        sock.sendall(MAGIC + encode_auth_frame("wrong"))
+        sock.sendall(encode_request_frame(1, "GET", "/healthz", b""))
+        _assert_dropped_without_answer(sock)
+    finally:
+        sock.close()
+
+
+def test_auth_missing_secret_drops_first_request(served_authed):
+    client = FramedServiceClient(served_authed, timeout=10)  # no secret sent
+    try:
+        with pytest.raises(ConnectionError):
+            client.healthz()
+    finally:
+        client.close()
+
+
+def test_auth_second_auth_frame_is_a_violation(served_authed):
+    sock = _raw_connect(served_authed)
+    try:
+        sock.sendall(
+            MAGIC
+            + encode_auth_frame("open sesame")
+            + encode_auth_frame("open sesame")
+        )
+        _assert_dropped_without_answer(sock)
+    finally:
+        sock.close()
+
+
+def test_auth_disables_http_fallback(served_authed):
+    sock = _raw_connect(served_authed)
+    try:
+        sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        _assert_dropped_without_answer(sock)
+    finally:
+        sock.close()
+
+
+def test_secretless_server_tolerates_leading_auth(served):
+    with FramedServiceClient(served, timeout=10, auth_secret="ignored") as client:
+        status, health = client.healthz()
+    assert status == 200
+    assert health["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# client side: corrupted replies release waiters
+# ----------------------------------------------------------------------
+@contextmanager
+def _scripted_server(reply_bytes):
+    """A one-shot 'server' that reads the handshake + first frame, then
+    plays back ``reply_bytes`` verbatim and closes."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()
+    failures = []
+
+    def _recv_exactly(conn, n):
+        data = b""
+        while len(data) < n:
+            chunk = conn.recv(n - len(data))
+            if not chunk:
+                raise ConnectionError("client hung up early")
+            data += chunk
+        return data
+
+    def run():
+        try:
+            conn, _ = listener.accept()
+        except OSError:
+            return
+        conn.settimeout(5.0)
+        try:
+            _recv_exactly(conn, len(MAGIC))
+            length, _crc = struct.unpack("!II", _recv_exactly(conn, 8))
+            _recv_exactly(conn, length)
+            conn.sendall(reply_bytes)
+        except Exception as exc:  # noqa: BLE001 - surfaced via ``failures``
+            failures.append(repr(exc))
+        finally:
+            conn.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    try:
+        yield f"framed://{host}:{port}"
+    finally:
+        listener.close()
+        thread.join(timeout=5)
+        assert not failures, failures
+
+
+def _corrupted_reply():
+    frame = bytearray(encode_reply_frame(1, KIND_RESPONSE, 200, {}, b"{}"))
+    frame[-1] ^= 0x01
+    return bytes(frame)
+
+
+@pytest.mark.parametrize(
+    "reply",
+    [
+        _corrupted_reply(),                      # CRC mismatch
+        struct.pack("!II", 0x7FFFFFFF, 0),       # implausible length
+        struct.pack("!II", 100, 0) + b"short",   # mid-frame EOF
+        b"",                                     # immediate EOF
+    ],
+    ids=["crc-mismatch", "implausible-length", "mid-frame-eof", "eof"],
+)
+def test_client_releases_waiter_on_bad_reply(reply):
+    deaths = []
+    with _scripted_server(reply) as url:
+        client = FramedServiceClient(
+            url, timeout=10, on_close=lambda: deaths.append(True)
+        )
+        try:
+            start = time.monotonic()
+            with pytest.raises(ConnectionError):
+                client.request("GET", "/healthz")
+            # released by teardown, not by running out the 10 s timeout
+            assert time.monotonic() - start < 5.0
+            # the death callback fires from the reader thread; give it a
+            # beat to run before asserting on it
+            deadline = time.monotonic() + 5.0
+            while not deaths and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            client.close()
+    assert len(deaths) == 1  # the death callback fired exactly once
+
+
+def test_client_releases_every_concurrent_waiter():
+    barrier = threading.Barrier(3)
+    outcomes = []
+    with _scripted_server(struct.pack("!II", 0, 0)) as url:
+        client = FramedServiceClient(url, timeout=10)
+        try:
+            def probe():
+                barrier.wait()
+                try:
+                    client.request("GET", "/healthz")
+                    outcomes.append("answered")
+                except ConnectionError:
+                    outcomes.append("released")
+            threads = [threading.Thread(target=probe) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=15)
+            assert not any(t.is_alive() for t in threads)
+        finally:
+            client.close()
+    assert outcomes == ["released"] * 3

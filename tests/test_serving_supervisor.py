@@ -271,3 +271,14 @@ def test_supervisor_context_manager_round_trip():
         ).status is JobStatus.DONE
     with pytest.raises(ServiceError):
         sup.start()
+
+
+def test_heartbeat_knobs_are_validated_before_any_spawn():
+    with pytest.raises(ValueError, match="heartbeat_interval"):
+        ReplicaSupervisor(1, heartbeat_interval=0.0)
+    with pytest.raises(ValueError, match="heartbeat_interval"):
+        ReplicaSupervisor(1, heartbeat_interval=61.0)
+    with pytest.raises(ValueError, match="heartbeat_timeout"):
+        ReplicaSupervisor(1, heartbeat_interval=0.5, heartbeat_timeout=0.5)
+    with pytest.raises(ValueError, match="at least one replica"):
+        ReplicaSupervisor(0)

@@ -35,6 +35,7 @@ Covered:
 import gc
 import json
 import threading
+from http.client import HTTPException
 import time
 import warnings
 from contextlib import contextmanager
@@ -61,6 +62,7 @@ from repro.serving import (
 )
 from repro.serving import wire
 from repro.serving.bench import generate_requests
+from repro.serving.remote import RemoteServiceBackend
 from repro.types import CostSummary
 
 
@@ -106,7 +108,54 @@ class FramedTransportHarness:
         return FramedServiceClient(url)
 
 
-TRANSPORTS = {"http": HttpTransportHarness(), "framed": FramedTransportHarness()}
+class RemoteTransportHarness:
+    """Serves a backend across a *remote hop*: the backend runs behind an
+    inner framed ingress (the "remote host"), a
+    :class:`RemoteServiceBackend` dials it over loopback TCP exactly as a
+    cross-host deployment would (submit-and-push handle + live admin
+    reads), and a front framed ingress serves that adapter to the client.
+
+    Every byte of every test request therefore crosses two real sockets
+    and the reconnect/heartbeat machinery of
+    :class:`~repro.serving.handles.RemoteReplicaHandle` — the suite
+    passing unchanged is the acceptance proof that a remote hop adds zero
+    semantic drift.
+    """
+
+    name = "remote"
+
+    @contextmanager
+    def serve(self, backend, **transport_kwargs):
+        inner = FramedIngress(backend).start_in_thread()
+        adapter = None
+        front = None
+        try:
+            adapter = RemoteServiceBackend(
+                inner.url,
+                heartbeat_interval=0.05,
+                # Generous watchdogs: a starved CI box must never convert a
+                # slow-but-healthy host into a spurious connection-death.
+                stale_after=5.0,
+                dead_after=60.0,
+            )
+            front = FramedIngress(adapter, **transport_kwargs).start_in_thread()
+            yield front.url
+        finally:
+            if front is not None:
+                front.close()
+            if adapter is not None:
+                adapter.close()
+            inner.close()
+
+    def client(self, url):
+        return FramedServiceClient(url)
+
+
+TRANSPORTS = {
+    "http": HttpTransportHarness(),
+    "framed": FramedTransportHarness(),
+    "remote": RemoteTransportHarness(),
+}
 
 
 @pytest.fixture(params=sorted(TRANSPORTS))
@@ -755,3 +804,57 @@ def test_replica_admin_eject_restore_roundtrip(transport):
                 assert status == 404
     finally:
         replica_set.shutdown()
+
+
+# ----------------------------------------------------------------------
+# chaos matrix: every fault class x every harness
+# ----------------------------------------------------------------------
+def test_chaos_matrix_every_fault_class_zero_lost_or_wrong_answers(transport):
+    """Drive solves through a deterministically faulty proxy.
+
+    The schedule makes every second connection faulty, cycling through
+    all six fault classes (latency, reset, partial writes, byte
+    corruption, heartbeat drops, blackhole windows).  The client contract
+    under chaos: a fault surfaces as a clean connection-level error —
+    never a silently wrong answer — so a dumb retry-with-fresh-connection
+    loop must eventually land every request with labels bit-identical to
+    the direct solver.  Replayable: the seed fully determines the plans.
+    """
+    from urllib.parse import urlsplit
+
+    from repro.serving.chaos import FAULT_KINDS, ChaosSchedule, ChaosTcpProxy
+
+    schedule = ChaosSchedule(
+        f"conformance-{transport.name}",
+        every=2,  # density 1/2: retries find a clean connection fast
+        latency_range=(0.02, 0.05),
+        blackhole_duration=(0.05, 0.15),
+    )
+    stream = list(generate_requests(12, 24, seed=23))
+    retriable = (ConnectionError, OSError, TimeoutError, HTTPException)
+    answers = []
+    with served_service(transport) as (url, _backend):
+        split = urlsplit(url)
+        with ChaosTcpProxy(f"{split.hostname}:{split.port}", schedule=schedule) as proxy:
+            for f, b, audit in stream:
+                response = None
+                for _attempt in range(12):
+                    try:
+                        with transport.client(proxy.url) as client:
+                            response = client.solve(f, b, audit=audit)
+                        break
+                    except retriable:
+                        continue  # fresh connection -> next schedule index
+                assert response is not None, "request never survived the chaos"
+                answers.append(((f, b, audit), response))
+            # enough connections to have cycled through every fault class
+            assert proxy.connections_seen >= 2 * len(FAULT_KINDS)
+    # zero lost, zero wrong: all answered, solved, uniquely billed,
+    # bit-identical to the direct solver
+    assert len(answers) == len(stream)
+    assert all(r.status is JobStatus.DONE for _, r in answers)
+    assert len({r.request_id for _, r in answers}) == len(answers)
+    for (f, b, audit), response in answers:
+        assert np.array_equal(
+            response.labels, coarsest_partition(f, b, audit=audit).labels
+        )
