@@ -107,13 +107,30 @@ def write_artifact(
     *,
     filename: Optional[str] = None,
 ) -> str:
-    """Validate and write an artifact; returns the written path."""
+    """Validate and write an artifact; returns the written path.
+
+    Sibling sections other tools maintain in the same file (e.g. the
+    ``capacity_model`` the serving load sweep commits into
+    ``BENCH_SERVING.json``) are carried over from the existing file, so
+    regenerating the experiment never silently drops them.
+    """
     validate_artifact(document)
     name = filename or artifact_filename(str(document["experiment"]))
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, name)
+    merged = dict(document)
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict):
+            for key, value in existing.items():
+                if key not in merged:
+                    merged[key] = value
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(document, fh, indent=2, sort_keys=False, default=str)
+        json.dump(merged, fh, indent=2, sort_keys=False, default=str)
         fh.write("\n")
     return path
 

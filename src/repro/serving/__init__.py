@@ -56,7 +56,13 @@ front end that *accepts traffic*.  This package turns
 * :mod:`~repro.serving.chaos` — seeded, deterministic fault injection:
   :class:`ChaosTcpProxy` / :class:`ChaosSocket` replaying named
   schedules of latency, resets, partial writes, frame corruption,
-  heartbeat loss and blackholes (see ``RESILIENCE.md``).
+  heartbeat loss and blackholes (see ``RESILIENCE.md``);
+* :mod:`~repro.serving.autoscale` — :class:`PoolController` +
+  :class:`AutoscalingPolicy`: a measured control loop that grows and
+  shrinks a replica pool (in-process set, supervised processes, or a
+  remote fleet) from rolling queue depth, per-replica occupancy and
+  p99-vs-SLO, with hysteresis, cooldown and min/max bounds — every
+  decision logged through the shared :class:`EventRecorder`.
 
 Quickstart
 ----------
@@ -79,6 +85,7 @@ self-contained load-generator demo and prints the metrics table;
 ``repro-serve --connect URL`` drives a running server over the wire.
 """
 
+from .autoscale import AutoscalingPolicy, PoolController, PoolSignals, ScaleDecision
 from .batcher import Batch, BatcherStats, MicroBatcher
 from .chaos import FAULT_KINDS, ChaosSchedule, ChaosTcpProxy
 from .events import EventRecorder
@@ -137,6 +144,10 @@ __all__ = [
     "CircuitBreaker",
     "GrayFailureDetector",
     "EventRecorder",
+    "AutoscalingPolicy",
+    "PoolController",
+    "PoolSignals",
+    "ScaleDecision",
     "ChaosSchedule",
     "ChaosTcpProxy",
     "FAULT_KINDS",

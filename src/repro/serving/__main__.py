@@ -1,6 +1,6 @@
 """Command-line front end: ``python -m repro.serving`` / ``repro-serve``.
 
-Five modes:
+Six modes:
 
 * **Demo/smoke (default)** — runs a self-contained load-generator burst
   against a fresh :class:`~repro.serving.service.SolveService`, verifies
@@ -24,6 +24,12 @@ Five modes:
   *already-running* server over HTTP, verifies responses against direct
   solves, and snapshots the server's ``/metrics`` document;
   ``--connect-retries N`` rides out dropped connections (chaos smoke).
+* **Open-loop load generator (``--loadgen``)** — offers requests at a
+  fixed arrival rate to a fresh in-process pool and measures how it
+  copes (latency percentiles, shed fraction, nothing-lost check);
+  ``--sweep`` runs the full capacity grid (replica counts × offered
+  rates) and reports each pool size's knee — the measured capacity
+  model behind ``BENCH_SERVING.json``.
 * **Chaos proxy (``--chaos-proxy --upstream HOST:PORT``)** — a
   deterministic fault-injecting TCP proxy
   (:mod:`repro.serving.chaos`): seeded schedule of latency, resets,
@@ -128,8 +134,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the bound port to PATH once listening (readiness signal)",
     )
     net.add_argument(
-        "--replicas", type=int, default=1,
-        help="serve a ReplicaSet of N services behind the ingress (default 1)",
+        "--replicas", type=_replicas_spec, default=1, metavar="N|auto",
+        help="serve a ReplicaSet of N services behind the ingress "
+             "(default 1), or 'auto' to let the pool controller size it "
+             "between --min-replicas and --max-replicas",
+    )
+    net.add_argument(
+        "--min-replicas", type=int, default=1, metavar="N",
+        help="--replicas auto: lower pool bound and starting size (default 1)",
+    )
+    net.add_argument(
+        "--max-replicas", type=int, default=8, metavar="N",
+        help="--replicas auto: upper pool bound (default 8)",
+    )
+    net.add_argument(
+        "--slo-p99-ms", type=float, default=None, metavar="MS",
+        help="rolling-p99 latency SLO: --replicas auto scales up when the "
+             "measured p99 exceeds it (and --loadgen uses it to place the "
+             "capacity knee)",
+    )
+    net.add_argument(
+        "--scale-interval", type=float, default=0.25, metavar="SECONDS",
+        help="--replicas auto: pool-controller tick period (default 0.25)",
     )
     net.add_argument(
         "--processes", action="store_true",
@@ -188,6 +214,44 @@ def build_parser() -> argparse.ArgumentParser:
              "(env REPRO_AUTH_SECRET also works)",
     )
 
+    gen = parser.add_argument_group("open-loop load generator")
+    gen.add_argument(
+        "--loadgen", action="store_true",
+        help="offer requests at a fixed arrival rate to a fresh in-process "
+             "pool and report latency/shed (open loop: saturation shows up "
+             "instead of being hidden by a self-throttling client)",
+    )
+    gen.add_argument(
+        "--sweep", action="store_true",
+        help="--loadgen: run the full capacity sweep (replica counts x "
+             "offered rates) and report each pool's knee",
+    )
+    gen.add_argument(
+        "--rate", type=float, default=50.0, metavar="RPS",
+        help="--loadgen without --sweep: offered arrival rate (default 50)",
+    )
+    gen.add_argument(
+        "--duration", type=float, default=2.0, metavar="SECONDS",
+        help="--loadgen: how long each cell offers load (default 2.0)",
+    )
+    gen.add_argument(
+        "--sweep-replicas", default="1,2,4", metavar="N,N,...",
+        help="--sweep: replica counts to sweep (default 1,2,4)",
+    )
+    gen.add_argument(
+        "--sweep-rates", default="25,50,100,200,400", metavar="RPS,RPS,...",
+        help="--sweep: offered rates to sweep (default 25,50,100,200,400)",
+    )
+    gen.add_argument(
+        "--max-shed-fraction", type=float, default=0.05, metavar="F",
+        help="--sweep: shed fraction above which a cell is past the knee "
+             "(default 0.05)",
+    )
+    gen.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="--loadgen: write the capacity model as JSON to PATH",
+    )
+
     chaos = parser.add_argument_group("chaos proxy")
     chaos.add_argument(
         "--chaos-proxy", action="store_true",
@@ -217,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(replay artifact)",
     )
     return parser
+
+
+def _replicas_spec(value: str):
+    """``--replicas`` accepts an integer or the literal ``auto``."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    return int(value)
 
 
 def _write_port_file(path, port) -> None:
@@ -264,6 +335,8 @@ def serve_http(args, say) -> int:
         mode=args.mode,
         default_algorithm=args.algorithm,
     )
+    auto_scale = args.replicas == "auto"
+    start_replicas = max(1, args.min_replicas) if auto_scale else max(1, args.replicas)
     remote_addresses = _remote_addresses(args)
     if remote_addresses:
         backend = RemoteReplicaFleet(
@@ -277,7 +350,7 @@ def serve_http(args, say) -> int:
             f"at {', '.join(remote_addresses)}")
     elif args.processes:
         backend = ReplicaSupervisor(
-            max(1, args.replicas),
+            start_replicas,
             service_kwargs=service_kwargs,
             seed=args.seed,
             heartbeat_interval=args.heartbeat_interval,
@@ -286,12 +359,43 @@ def serve_http(args, say) -> int:
         ).start()
         say(f"[repro.serving] replica supervisor: {backend.num_replicas} "
             f"process(es) x {args.workers} {args.backend} worker(s)")
-    elif args.replicas > 1:
-        backend = ReplicaSet(args.replicas, seed=args.seed, **service_kwargs)
-        say(f"[repro.serving] replica set: {args.replicas} x {args.workers} "
+    elif auto_scale or args.replicas > 1:
+        backend = ReplicaSet(start_replicas, seed=args.seed, **service_kwargs)
+        say(f"[repro.serving] replica set: {start_replicas} x {args.workers} "
             f"{args.backend} worker(s)")
     else:
         backend = SolveService(seed=args.seed, **service_kwargs)
+
+    controller = None
+    scale_recorder = None
+    if auto_scale:
+        from .autoscale import AutoscalingPolicy, PoolController
+        from .events import EventRecorder
+
+        max_replicas = args.max_replicas
+        if remote_addresses:
+            # A fleet cannot fork hosts: growth is bounded by the list.
+            max_replicas = min(max_replicas, len(remote_addresses))
+        policy = AutoscalingPolicy(
+            min_replicas=max(1, args.min_replicas),
+            max_replicas=max(1, max_replicas),
+            slo_p99_ms=args.slo_p99_ms,
+        )
+        recorder = getattr(backend, "recorder", None)
+        if recorder is None:
+            # A plain in-process ReplicaSet has no lifecycle log of its
+            # own; give the controller one so scale decisions still land
+            # in --supervisor-log.
+            scale_recorder = EventRecorder(args.supervisor_log)
+            scale_recorder.open()
+            recorder = scale_recorder
+        controller = PoolController(
+            backend, policy, recorder=recorder, interval=args.scale_interval
+        ).start()
+        say(f"[repro.serving] pool controller: {policy.min_replicas}.."
+            f"{policy.max_replicas} replicas, tick {args.scale_interval:g}s"
+            + (f", SLO p99 {policy.slo_p99_ms:g}ms"
+               if policy.slo_p99_ms else ""))
     # The fleet authenticates *outbound* to the remote hosts; the local
     # front stays open (HTTP + framed) for healthz/metrics/load-gen.  An
     # auth-requiring framed server is the --replica-worker mode.
@@ -309,8 +413,12 @@ def serve_http(args, say) -> int:
     except KeyboardInterrupt:
         say("\n[repro.serving] draining...")
     finally:
+        if controller is not None:
+            controller.stop()
         backend.shutdown(drain=True)
         ingress.close()
+        if scale_recorder is not None:
+            scale_recorder.close()
     say("[repro.serving] stopped")
     return 0
 
@@ -428,6 +536,90 @@ def run_chaos_proxy(args, say) -> int:
     return 0
 
 
+def run_loadgen(args, say) -> int:
+    """``--loadgen``: open-loop overload measurement / capacity sweep."""
+    from .bench import run_capacity_sweep, run_open_loop
+
+    def _csv(text, cast):
+        return [cast(x) for x in str(text).split(",") if x.strip()]
+
+    if args.sweep:
+        model = run_capacity_sweep(
+            replica_counts=_csv(args.sweep_replicas, int),
+            rates_rps=_csv(args.sweep_rates, float),
+            duration=args.duration,
+            size=args.size,
+            seed=args.seed,
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            slo_p99_ms=args.slo_p99_ms,
+            max_shed_fraction=args.max_shed_fraction,
+            algorithm=args.algorithm,
+            progress=say,
+        )
+        cells = model["cells"]
+        pools = model["pools"]
+        lost = sum(int(c["lost"]) for c in cells)
+    else:
+        replicas = (max(1, args.min_replicas) if args.replicas == "auto"
+                    else max(1, args.replicas))
+        cell = run_open_loop(
+            replicas=replicas,
+            rate_rps=args.rate,
+            duration=args.duration,
+            size=args.size,
+            seed=args.seed,
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            algorithm=args.algorithm,
+        )
+        model = {"cells": [cell], "pools": []}
+        cells, pools = [cell], []
+        lost = int(cell["lost"])
+
+    flat = [
+        {k: v for k, v in c.items() if not isinstance(v, dict)} for c in cells
+    ]
+    say("")
+    say(render_table(flat, title="open-loop capacity cells"))
+    if pools:
+        say("")
+        say(render_table(pools, title="capacity model (knee per pool size)"))
+    say("")
+    say(f"[repro.serving] {sum(int(c['requests']) for c in cells)} offered, "
+        f"{sum(int(c['completed']) for c in cells)} completed, "
+        f"{sum(int(c['shed']) for c in cells)} shed, {lost} lost")
+
+    if args.bench_out:
+        # Merge into the existing artifact (BENCH_SERVING.json also holds
+        # the serving bench experiment's cells) rather than replacing it.
+        document = {}
+        if os.path.exists(args.bench_out):
+            try:
+                with open(args.bench_out, "r", encoding="utf-8") as fh:
+                    existing = json.load(fh)
+            except (OSError, ValueError):
+                existing = None
+            if isinstance(existing, dict):
+                document = dict(existing)
+        document.setdefault("schema", f"{METRICS_SCHEMA}.capacity")
+        document.setdefault("schema_version", METRICS_SCHEMA_VERSION)
+        document["capacity_model"] = model
+        out_dir = os.path.dirname(args.bench_out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        say(f"[repro.serving] wrote {args.bench_out}")
+
+    if lost:
+        print(f"[repro.serving] FAILURE: {lost} admitted job(s) never "
+              "settled (overload must shed, not lose)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def run_connect(args, say) -> int:
     """``--connect URL``: wire load generator against a running server."""
     say(f"[repro.serving] over-the-wire burst of {args.requests} requests "
@@ -479,9 +671,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     say = (lambda *_: None) if args.quiet else print
     if sum(bool(m) for m in (args.http or args.remote or args.remote_config,
-                             args.connect, args.chaos_proxy)) > 1:
-        print("[repro.serving] --http/--remote, --connect and --chaos-proxy "
-              "are mutually exclusive", file=sys.stderr)
+                             args.connect, args.chaos_proxy,
+                             args.loadgen)) > 1:
+        print("[repro.serving] --http/--remote, --connect, --chaos-proxy "
+              "and --loadgen are mutually exclusive", file=sys.stderr)
         return 2
     if args.chaos_proxy:
         return run_chaos_proxy(args, say)
@@ -491,6 +684,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return serve_http(args, say)
     if args.connect:
         return run_connect(args, say)
+    if args.loadgen:
+        return run_loadgen(args, say)
 
     say(
         f"[repro.serving] burst of {args.requests} requests (n={args.size}) -> "

@@ -77,6 +77,7 @@ class MicroBatcher:
         max_batch_size: int = 32,
         max_batch_delay: float = 0.002,
         poll_interval: float = 0.05,
+        backpressure: Optional[Callable[[], bool]] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -87,6 +88,12 @@ class MicroBatcher:
         self.max_batch_size = int(max_batch_size)
         self.max_batch_delay = float(max_batch_delay)
         self.poll_interval = float(poll_interval)
+        #: While this predicate is true the loop stops *claiming* (new
+        #: work waits in the ingress queue, where priority/deadline order
+        #: and admission control apply); dispatch of an already-claimed
+        #: batch is never blocked, and ``flush`` ignores the gate so drain
+        #: always completes.
+        self.backpressure = backpressure
         self.stats = BatcherStats()
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, name="repro-batcher", daemon=True)
@@ -126,6 +133,11 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def _run(self) -> None:
         while not self._stop.is_set():
+            if self.backpressure is not None and self.backpressure():
+                # Re-check quickly: the gate must release the moment the
+                # workers catch up, not a full poll interval later.
+                self._stop.wait(min(self.poll_interval, 0.005))
+                continue
             key = self.queue.head_key(timeout=self.poll_interval)
             if key is None:
                 continue

@@ -17,6 +17,15 @@ socket-backed child processes, so the ``serving`` benchmark experiment
 overheads next to the in-process numbers across PRs.
 :func:`run_wire_load` drives an *already-running* server by URL (the
 ``repro-serve --connect`` load generator used by the CI transport smoke).
+
+:func:`run_open_loop` is the *open-loop* generator: it offers requests at
+a fixed arrival rate regardless of how the service is coping (the honest
+way to measure overload — a closed loop self-throttles and hides the
+knee), and :func:`run_capacity_sweep` runs it across a grid of replica
+counts × offered rates to produce the measured capacity model
+(``repro-serve --loadgen --sweep`` → ``BENCH_SERVING.json``): per-cell
+p50/p95/p99, shed fraction and achieved throughput, plus the per-pool
+*knee* — the highest offered rate the pool absorbs within SLO.
 """
 
 from __future__ import annotations
@@ -31,10 +40,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import QueueFullError, ServiceError
 from ..graphs.generators import random_function, random_permutation, tree_heavy
 from ..partition import coarsest_partition, same_partition
 from .metrics import ServiceMetrics
-from .requests import JobStatus, SolveResponse
+from .requests import JobStatus, SolveRequest, SolveResponse
 from .service import SolveService
 
 #: Transports :func:`run_load` can fire a burst through.
@@ -441,6 +451,263 @@ def run_wire_load(
     if verify:
         _verify(report, stream, algorithm)
     return report
+
+
+#: Priority classes the open-loop generator rotates through when
+#: ``priority_mix`` is on: scavenger (-2), best-effort (-1), default (0)
+#: and interactive (1) — the mix the brown-out ladder discriminates on.
+OPEN_LOOP_PRIORITIES = (-2, -1, 0, 1)
+
+
+def run_open_loop(
+    *,
+    replicas: int = 1,
+    rate_rps: float = 50.0,
+    duration: float = 2.0,
+    size: int = 64,
+    seed: int = 0,
+    workers: int = 2,
+    max_batch_size: int = 32,
+    max_batch_delay: float = 0.002,
+    queue_capacity: int = 64,
+    mode: str = "packed",
+    algorithm: str = "jaja-ryu",
+    priority_mix: bool = True,
+    drain_timeout: float = 60.0,
+    backend=None,
+) -> Dict[str, object]:
+    """Offer a fixed arrival rate to a pool and measure how it copes.
+
+    Open loop: the generator submits at the *offered* rate no matter how
+    slowly responses come back (never waiting on a result before sending
+    the next request), so saturation shows up as queueing, shedding and
+    latency growth instead of being silently absorbed by a self-throttling
+    client.  Admission rejections (queue-full backpressure and brown-out
+    floors) are *shed at the door*; everything admitted must settle — the
+    returned ``lost`` count is the number of admitted jobs that never
+    produced a response, and the overload-survival contract is that it is
+    always zero.
+
+    Builds a fresh in-process pool (:class:`SolveService` for one replica,
+    :class:`~repro.serving.replicas.ReplicaSet` for more) unless an
+    already-running ``backend`` is supplied, in which case the caller owns
+    its lifecycle and ``replicas`` is only recorded in the row.
+    """
+    total = max(1, int(round(rate_rps * duration)))
+    # A small rotating pool of instances keeps generation cost out of the
+    # arrival loop (the burst must not fall behind its own schedule just
+    # because numpy is busy building graphs).
+    distinct = min(total, 24)
+    instances = generate_requests(distinct, size, seed=seed, audit_mix=False)
+
+    own_backend = backend is None
+    if own_backend:
+        service_kwargs = dict(
+            workers=workers,
+            max_batch_size=max_batch_size,
+            max_batch_delay=max_batch_delay,
+            queue_capacity=queue_capacity,
+            mode=mode,
+            default_algorithm=algorithm,
+        )
+        if replicas > 1:
+            from .replicas import ReplicaSet
+
+            backend = ReplicaSet(replicas, seed=seed, **service_kwargs)
+        else:
+            backend = SolveService(seed=seed, **service_kwargs)
+
+    lock = threading.Lock()
+    latencies: List[float] = []
+    settled = [0]
+    done = [0]
+    failed = [0]
+    shed_by_class: Dict[int, int] = {}
+    admitted_by_class: Dict[int, int] = {}
+    all_settled = threading.Event()
+    admitted = 0
+    rejected = 0
+
+    try:
+        interval = 1.0 / float(rate_rps)
+        start = time.perf_counter()
+        for i in range(total):
+            # Open loop: sleep until this request's scheduled arrival; if
+            # the generator is behind schedule, fire immediately (never
+            # slower than offered).
+            target = start + i * interval
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            f, b, _ = instances[i % distinct]
+            priority = OPEN_LOOP_PRIORITIES[i % len(OPEN_LOOP_PRIORITIES)] \
+                if priority_mix else 0
+            request = SolveRequest.make(
+                f, b, algorithm=algorithm, audit=False, priority=priority
+            )
+            sent_at = time.perf_counter()
+            try:
+                backend.submit_request(request, block=False)
+            except QueueFullError:
+                rejected += 1
+                shed_by_class[priority] = shed_by_class.get(priority, 0) + 1
+                continue
+            except ServiceError:
+                rejected += 1
+                shed_by_class[priority] = shed_by_class.get(priority, 0) + 1
+                continue
+            admitted += 1
+            admitted_by_class[priority] = admitted_by_class.get(priority, 0) + 1
+
+            def _settle(response: SolveResponse, sent_at=sent_at) -> None:
+                with lock:
+                    settled[0] += 1
+                    if response.status is JobStatus.DONE:
+                        done[0] += 1
+                        latencies.append(time.perf_counter() - sent_at)
+                    else:
+                        failed[0] += 1
+
+            backend.on_response(request.request_id, _settle)
+        offered_wall = time.perf_counter() - start
+
+        deadline = time.monotonic() + drain_timeout
+        while time.monotonic() < deadline:
+            with lock:
+                if settled[0] >= admitted:
+                    break
+            time.sleep(0.01)
+        wall = time.perf_counter() - start
+    finally:
+        if own_backend:
+            backend.shutdown(drain=True)
+
+    with lock:
+        lat = sorted(latencies)
+        num_done = done[0]
+        num_failed = failed[0]
+        num_settled = settled[0]
+
+    def _pct(q: float) -> Optional[float]:
+        if not lat:
+            return None
+        return round(1e3 * lat[min(len(lat) - 1, int(q * len(lat)))], 2)
+
+    shed = rejected + num_failed  # at the door + after admission (expiry)
+    return {
+        "replicas": int(replicas),
+        "offered_rps": round(float(rate_rps), 1),
+        "duration_s": round(float(duration), 2),
+        "requests": total,
+        "admitted": admitted,
+        "rejected": rejected,
+        "completed": num_done,
+        "shed": shed,
+        "shed_fraction": round(shed / total, 4),
+        "lost": admitted - num_settled,
+        "achieved_rps": round(num_done / wall, 1) if wall > 0 else 0.0,
+        "offered_wall_s": round(offered_wall, 3),
+        "wall_s": round(wall, 3),
+        "p50_ms": _pct(0.50),
+        "p95_ms": _pct(0.95),
+        "p99_ms": _pct(0.99),
+        "admitted_by_class": {str(k): v for k, v in sorted(admitted_by_class.items())},
+        "shed_by_class": {str(k): v for k, v in sorted(shed_by_class.items())},
+    }
+
+
+def find_knee(
+    cells: Sequence[Dict[str, object]],
+    *,
+    slo_p99_ms: Optional[float] = None,
+    max_shed_fraction: float = 0.05,
+) -> Optional[float]:
+    """The knee of one pool's capacity curve: the highest offered rate it
+    absorbed — shed fraction within ``max_shed_fraction``, nothing lost,
+    and (when an SLO is given) p99 within it.  ``None`` when even the
+    lowest offered rate overloads the pool."""
+    knee = None
+    for cell in sorted(cells, key=lambda c: c["offered_rps"]):
+        if cell["lost"]:
+            continue
+        if cell["shed_fraction"] > max_shed_fraction:
+            continue
+        p99 = cell.get("p99_ms")
+        if slo_p99_ms is not None and (p99 is None or p99 > slo_p99_ms):
+            continue
+        knee = float(cell["offered_rps"])
+    return knee
+
+
+def run_capacity_sweep(
+    *,
+    replica_counts: Sequence[int] = (1, 2, 4),
+    rates_rps: Sequence[float] = (25.0, 50.0, 100.0, 200.0, 400.0),
+    duration: float = 2.0,
+    size: int = 64,
+    seed: int = 0,
+    workers: int = 2,
+    queue_capacity: int = 64,
+    slo_p99_ms: Optional[float] = 500.0,
+    max_shed_fraction: float = 0.05,
+    algorithm: str = "jaja-ryu",
+    priority_mix: bool = True,
+    progress=None,
+) -> Dict[str, object]:
+    """The measured capacity model: open-loop cells over a (pool size ×
+    offered rate) grid, plus each pool's knee.
+
+    This is what sizes the autoscaler honestly: the knee column says how
+    much offered load one more replica actually buys, and the
+    ``overload`` rows (2× the knee) prove the admission layer sheds
+    lowest-priority-first instead of collapsing.  Returns a JSON-able
+    document with ``cells`` (one row per grid point) and ``pools`` (one
+    summary per replica count, knee included).
+    """
+    say = progress if progress is not None else (lambda *_: None)
+    cells: List[Dict[str, object]] = []
+    pools: List[Dict[str, object]] = []
+    for replicas in replica_counts:
+        pool_cells: List[Dict[str, object]] = []
+        for rate in rates_rps:
+            say(f"[capacity] replicas={replicas} offered={rate:g} rps ...")
+            cell = run_open_loop(
+                replicas=int(replicas),
+                rate_rps=float(rate),
+                duration=duration,
+                size=size,
+                seed=seed,
+                workers=workers,
+                queue_capacity=queue_capacity,
+                algorithm=algorithm,
+                priority_mix=priority_mix,
+            )
+            pool_cells.append(cell)
+            cells.append(cell)
+        knee = find_knee(
+            pool_cells, slo_p99_ms=slo_p99_ms, max_shed_fraction=max_shed_fraction
+        )
+        lost = sum(int(c["lost"]) for c in pool_cells)
+        pools.append({
+            "replicas": int(replicas),
+            "knee_rps": knee,
+            "lost": lost,
+            "max_achieved_rps": max(float(c["achieved_rps"]) for c in pool_cells),
+        })
+        say(f"[capacity] replicas={replicas} knee={knee!r} rps, lost={lost}")
+    return {
+        "slo_p99_ms": slo_p99_ms,
+        "max_shed_fraction": max_shed_fraction,
+        "duration_s": duration,
+        "size": size,
+        "workers_per_replica": workers,
+        "queue_capacity": queue_capacity,
+        "priority_mix": priority_mix,
+        "rates_rps": [float(r) for r in rates_rps],
+        "replica_counts": [int(r) for r in replica_counts],
+        "cells": cells,
+        "pools": pools,
+    }
 
 
 def run_serving_benchmark(

@@ -17,7 +17,11 @@ Known kinds (the union across owners): ``spawn``, ``connect``,
 ``restart_scheduled``, ``restarted``, ``reconnected``,
 ``heartbeat_stall``, ``breaker_open``, ``breaker_closed``,
 ``gray_degraded``, ``gray_recovered``, ``gave_up``, ``child_exit``,
-``shutdown``.
+``shutdown``; plus the autoscaling kinds emitted by
+:class:`~repro.serving.autoscale.PoolController`: ``scale_up``,
+``scale_down``, ``scale_blocked`` (a sustained breach the controller
+declined to act on — cooldown or min/max bound — so capacity incidents
+are reconstructable from the log alone).
 """
 
 from __future__ import annotations

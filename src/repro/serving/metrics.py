@@ -50,6 +50,14 @@ class LatencyWindow:
         return sum(data) / len(data) if data else 0.0
 
 
+def _class_sort_key(cls_key: str):
+    """Sort priority-class labels numerically ("-2" < "0" < "2")."""
+    try:
+        return (0, int(cls_key))
+    except (TypeError, ValueError):
+        return (1, 0)
+
+
 @dataclass
 class ServiceMetrics:
     """Immutable snapshot of the service's rolling metrics."""
@@ -76,6 +84,14 @@ class ServiceMetrics:
     #: Per-replica liveness rows (a replica set fills these in): replica id,
     #: live flag, restart count, heartbeat age, inflight.
     replicas: List[Dict[str, object]] = field(default_factory=list)
+    #: Per-priority-class admission counters: class (stringified priority)
+    #: -> {"admitted", "shed", "rejected"} — the overload-survival ledger.
+    priority_classes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Active replica count (0 when the backend is a single service).
+    pool_size: int = 0
+    #: Most recent autoscaling decision (``ScaleDecision.as_dict()``),
+    #: ``None`` until the pool controller has acted.
+    last_scale: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable view (metrics artifacts, CI upload)."""
@@ -106,6 +122,9 @@ class ServiceMetrics:
             },
             "workers": self.workers,
             "replicas": self.replicas,
+            "priority_classes": self.priority_classes,
+            "pool_size": self.pool_size,
+            "last_scale": self.last_scale,
         }
 
     @classmethod
@@ -128,6 +147,12 @@ class ServiceMetrics:
 
         workers = payload.get("workers")
         replicas = payload.get("replicas")
+        classes = payload.get("priority_classes")
+        if not isinstance(classes, dict):
+            classes = {}
+        last_scale = payload.get("last_scale")
+        if not isinstance(last_scale, dict):
+            last_scale = None
         return cls(
             uptime_seconds=_num("uptime_seconds"),
             submitted=int(_num("submitted")),
@@ -153,6 +178,17 @@ class ServiceMetrics:
             ),
             workers=list(workers) if isinstance(workers, list) else [],
             replicas=list(replicas) if isinstance(replicas, list) else [],
+            priority_classes={
+                str(cls_key): {
+                    outcome: int(count)
+                    for outcome, count in counters.items()
+                    if isinstance(count, (int, float))
+                }
+                for cls_key, counters in classes.items()
+                if isinstance(counters, dict)
+            },
+            pool_size=int(_num("pool_size")),
+            last_scale=last_scale,
         )
 
     @classmethod
@@ -198,6 +234,7 @@ class ServiceMetrics:
             "mean_batch_occupancy": self.mean_occupancy,
             "max_batch_occupancy": self.max_occupancy,
         }
+        gauges["pool_size"] = self.pool_size
         lines: List[str] = []
         for name, value in counters.items():
             lines.append(f"# TYPE {prefix}_{name} counter")
@@ -205,6 +242,23 @@ class ServiceMetrics:
         for name, value in gauges.items():
             lines.append(f"# TYPE {prefix}_{name} gauge")
             lines.append(f"{prefix}_{name}{tag} {float(value):g}")
+        if self.priority_classes:
+            for outcome in ("admitted", "shed", "rejected"):
+                lines.append(f"# TYPE {prefix}_class_{outcome}_total counter")
+                for cls_key in sorted(self.priority_classes, key=_class_sort_key):
+                    count = int(self.priority_classes[cls_key].get(outcome, 0))
+                    lines.append(
+                        f'{prefix}_class_{outcome}_total{{priority="{cls_key}"}} {count}'
+                    )
+        if self.last_scale is not None:
+            direction = str(self.last_scale.get("direction", ""))
+            sign = {"up": 1, "down": -1}.get(direction, 0)
+            lines.append(f"# TYPE {prefix}_last_scale_direction gauge")
+            lines.append(f"{prefix}_last_scale_direction{tag} {sign}")
+            target = self.last_scale.get("target")
+            if isinstance(target, (int, float)):
+                lines.append(f"# TYPE {prefix}_last_scale_target gauge")
+                lines.append(f"{prefix}_last_scale_target{tag} {float(target):g}")
         if self.replicas:
             lines.append(f"# TYPE {prefix}_replica_live gauge")
             lines.append(f"# TYPE {prefix}_replica_restarts_total counter")
@@ -235,6 +289,8 @@ class ServiceMetrics:
         pram = flat.pop("pram")
         flat.pop("workers")
         flat.pop("replicas")
+        flat.pop("priority_classes")
+        flat.pop("last_scale")
         flat.update({f"latency_{k}_ms": v for k, v in latency.items()})
         flat.update({f"pram_{k}": v for k, v in pram.items()})
         return [{"metric": k, "value": v} for k, v in flat.items()]
@@ -281,6 +337,9 @@ class MetricsRecorder:
         max_occupancy: int,
         pram: Optional[CostSummary] = None,
         workers: Optional[List[Dict[str, object]]] = None,
+        priority_classes: Optional[Dict[str, Dict[str, int]]] = None,
+        pool_size: int = 0,
+        last_scale: Optional[Dict[str, object]] = None,
     ) -> ServiceMetrics:
         uptime = time.monotonic() - self.started_at
         with self._lock:
@@ -306,4 +365,7 @@ class MetricsRecorder:
             max_occupancy=max_occupancy,
             pram=pram if pram is not None else CostSummary(),
             workers=workers or [],
+            priority_classes=priority_classes or {},
+            pool_size=pool_size,
+            last_scale=last_scale,
         )

@@ -1,47 +1,150 @@
-"""Bounded ingress queue with backpressure and shed-on-deadline.
+"""Bounded ingress queue: backpressure, brown-out admission, EDF scheduling.
 
 The queue is the admission-control layer of the service: it holds accepted
 :class:`~repro.serving.requests.SolveRequest` objects until the batcher
-claims them.  Three policies live here:
+claims them.  Five policies live here:
 
 * **Backpressure** — the queue is bounded.  A blocking ``put`` waits for
   space (up to a timeout); a non-blocking one raises
   :class:`~repro.errors.QueueFullError` immediately.  Either way a full
   queue pushes load back on the submitter instead of growing without
   bound.
+* **Brown-out admission** — under sustained overload the queue degrades
+  by *priority class* instead of failing everyone equally.  Occupancy
+  thresholds (``brownout_thresholds``, fractions of capacity) define
+  brown-out levels; at level *k* (k >= 1) new requests whose priority is
+  below ``brownout_floors[k-1]`` are rejected immediately with
+  :class:`~repro.errors.QueueFullError` — the transport turns that into a
+  429 with a drain-time Retry-After — while higher classes are still
+  admitted.  Level 0 admits everything.  The default floors ``(-1, 0)``
+  treat negative priorities as best-effort classes: at level 1 the
+  scavenger tier (priority <= -2) is browned out, at level 2 every
+  best-effort class (priority < 0); the default class 0 and above always
+  retain plain blocking backpressure.
 * **Shed-on-deadline** — requests whose deadline elapses while queued are
   *shed*: removed and reported through the ``on_shed`` callback (the
   service turns them into ``JobStatus.SHED`` responses).  Expired entries
   are purged whenever the queue is scanned, and a full ``put`` first sheds
-  expired entries to make room before giving up.
-* **Priority** — the batcher always coalesces around the oldest
-  highest-priority entry (priority descending, FIFO within a priority).
+  expired entries to make room before anything else.
+* **Displacement** — when the queue is full of *live* entries, an arriving
+  request of strictly higher priority than the lowest queued class
+  displaces (sheds) one victim chosen by the shed-order contract below,
+  so overflow always falls on the lowest class first.
+* **Priority + EDF** — the batcher always coalesces around the head
+  entry.  Claim order is a contract: **priority descending; within a
+  priority class, earliest deadline first (deadline-less entries last);
+  equal-priority equal-deadline entries come out FIFO in insertion
+  order.**
+
+Shed-order contract
+-------------------
+
+When the queue must shed a *live* entry to make room (displacement), the
+victim is chosen by this pinned ordering — it is a contract, covered by a
+hypothesis fuzz test, not an accident of implementation:
+
+1. lowest priority class first;
+2. within a class, the entry with the **most slack** first — deadline-less
+   entries (infinite slack, fully retryable) before late deadlines before
+   early ones;
+3. equal-priority, equal-deadline entries are shed in **insertion order**
+   (oldest first).
+
+Expired entries are a separate path: they are already dead, and are shed
+in plain insertion order regardless of priority (the order only affects
+callback sequencing).
+
+Drain-time estimation
+---------------------
+
+The queue tracks its recent dequeue (claim) rate and exposes
+:meth:`estimated_drain_seconds` — how long the current backlog will take
+to drain at the observed service rate.  Transports use it to compute
+honest ``Retry-After`` hints instead of a constant.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import QueueFullError, ServiceShutdownError
 from ..partition.batch import CompatKey
 from .requests import SolveRequest
 
+#: Sorts deadline-less entries after every real deadline (EDF order) and,
+#: negated, before them (shed order: infinite slack sheds first).
+_NO_DEADLINE = float("inf")
+
+
+def _edf_key(entry: Tuple[int, SolveRequest]) -> Tuple[int, float, int]:
+    """Claim-order key: priority desc, deadline asc (None last), FIFO."""
+    index, request = entry
+    deadline = _NO_DEADLINE if request.deadline is None else request.deadline
+    return (-request.priority, deadline, index)
+
+
+def _shed_key(entry: Tuple[int, SolveRequest]) -> Tuple[int, float, int]:
+    """Shed-order key (the pinned contract): lowest priority first, most
+    slack first within a class (None deadline = infinite slack), then
+    insertion order."""
+    index, request = entry
+    slack = _NO_DEADLINE if request.deadline is None else request.deadline
+    return (request.priority, -slack, index)
+
 
 class IngressQueue:
-    """Bounded, priority-ordered holding area for queued solve requests."""
+    """Bounded, priority/EDF-ordered holding area for queued solve requests.
+
+    Parameters
+    ----------
+    capacity:
+        Ingress bound (>= 1).
+    on_shed:
+        Callback fired (outside the lock where possible) for every shed
+        request — deadline expiry, displacement, or external report.
+    brownout_thresholds:
+        Occupancy fractions at which brown-out levels engage, ascending
+        (default ``(0.85, 0.95)``).  ``None`` or empty disables brown-out.
+    brownout_floors:
+        Minimum admitted priority per engaged level (same length as the
+        thresholds; default ``(-1, 0)``): at level 1 requests with
+        priority < -1 are rejected, at level 2 requests with
+        priority < 0.  Priority 0 (the default class) is never
+        floor-rejected by the defaults.
+    clock:
+        Injectable monotonic clock (tests pin drain-rate and deadline
+        behaviour with a fake clock).
+    """
 
     def __init__(
         self,
         capacity: int,
         *,
         on_shed: Optional[Callable[[SolveRequest], None]] = None,
+        brownout_thresholds: Optional[Sequence[float]] = (0.85, 0.95),
+        brownout_floors: Optional[Sequence[int]] = (-1, 0),
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if capacity < 1:
             raise ValueError("queue capacity must be >= 1")
         self.capacity = int(capacity)
-        self._entries: List[SolveRequest] = []  # insertion order; scans pick by priority
+        thresholds = tuple(brownout_thresholds or ())
+        floors = tuple(brownout_floors or ())
+        if thresholds and len(floors) != len(thresholds):
+            raise ValueError(
+                f"brownout_floors must match brownout_thresholds in length "
+                f"({len(floors)} vs {len(thresholds)})"
+            )
+        if list(thresholds) != sorted(thresholds):
+            raise ValueError(f"brownout_thresholds must ascend, got {thresholds}")
+        self.brownout_thresholds = thresholds
+        self.brownout_floors = floors
+        self._clock = clock
+        self._entries: List[SolveRequest] = []  # insertion order; scans sort by contract
+        self._order: Dict[int, int] = {}        # id(request) -> insertion sequence
         self._seq = 0
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -50,10 +153,78 @@ class IngressQueue:
         self._closed = False
         self.shed_count = 0
         self.rejected_count = 0
+        #: priority class -> {"admitted", "shed", "rejected"} counters.
+        self._class_counters: Dict[int, Dict[str, int]] = {}
+        #: recent dequeue events (monotonic instant, entries claimed).
+        self._dequeues: "deque[Tuple[float, int]]" = deque(maxlen=128)
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # brown-out level + class accounting
+    # ------------------------------------------------------------------
+    def brownout_level(self) -> int:
+        """Current brown-out level (0 = normal admission)."""
+        with self._lock:
+            return self._brownout_level_locked()
+
+    def _brownout_level_locked(self) -> int:
+        if not self.brownout_thresholds:
+            return 0
+        occupancy = len(self._entries) / self.capacity
+        level = 0
+        for threshold in self.brownout_thresholds:
+            if occupancy >= threshold:
+                level += 1
+        return level
+
+    def _admission_floor_locked(self) -> Optional[int]:
+        """Minimum admitted priority at the current level (None = admit all)."""
+        level = self._brownout_level_locked()
+        if level == 0:
+            return None
+        return int(self.brownout_floors[min(level, len(self.brownout_floors)) - 1])
+
+    def _count_locked(self, request: SolveRequest, outcome: str) -> None:
+        counters = self._class_counters.setdefault(
+            int(request.priority), {"admitted": 0, "shed": 0, "rejected": 0}
+        )
+        counters[outcome] += 1
+
+    def priority_class_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-priority-class admit/shed/reject counters (JSON-keyed)."""
+        with self._lock:
+            return {
+                str(priority): dict(counters)
+                for priority, counters in sorted(self._class_counters.items())
+            }
+
+    # ------------------------------------------------------------------
+    # drain-time estimation
+    # ------------------------------------------------------------------
+    def estimated_drain_seconds(self) -> Optional[float]:
+        """Estimated seconds until the current backlog drains.
+
+        Based on the observed recent dequeue rate; ``None`` when the queue
+        has no claim history to estimate from (caller falls back to a
+        constant), ``0.0`` when the queue is empty.
+        """
+        now = self._clock()
+        with self._lock:
+            depth = len(self._entries)
+            events = list(self._dequeues)
+        if depth == 0:
+            return 0.0
+        if len(events) < 2:
+            return None
+        span = max(now - events[0][0], 1e-9)
+        claimed = sum(count for _, count in events)
+        rate = claimed / span
+        if rate <= 0:
+            return None
+        return depth / rate
 
     # ------------------------------------------------------------------
     # admission
@@ -65,98 +236,163 @@ class IngressQueue:
         block: bool = True,
         timeout: Optional[float] = None,
     ) -> None:
-        """Admit a request, applying backpressure when the queue is full.
+        """Admit a request, applying backpressure and brown-out policy.
 
-        Raises :class:`~repro.errors.QueueFullError` if no space frees up
-        (immediately when ``block=False``, after ``timeout`` seconds
-        otherwise; ``timeout=None`` waits indefinitely).
+        Raises :class:`~repro.errors.QueueFullError` when the request's
+        priority class is browned out at the current occupancy level
+        (immediately — class-based rejection does not wait), or when no
+        space frees up (immediately when ``block=False``, after
+        ``timeout`` seconds otherwise; ``timeout=None`` waits
+        indefinitely).  A full queue first sheds expired entries, then
+        displaces a lower-priority victim if one exists (shed-order
+        contract), before rejecting or blocking.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
-        with self._lock:
-            while True:
-                if self._closed:
-                    # A put that was blocked on backpressure when the queue
-                    # closed must NOT slip its entry in after the final
-                    # flush — that request would never be batched.
-                    raise ServiceShutdownError("ingress queue is closed; submit rejected")
-                self._shed_expired_locked()
-                if len(self._entries) < self.capacity:
-                    self._entries.append(request)
-                    self._not_empty.notify_all()
-                    return
-                if not block:
-                    self.rejected_count += 1
-                    raise QueueFullError(
-                        f"ingress queue full ({self.capacity} requests queued); "
-                        "slow down, retry later, or raise queue_capacity"
+        deadline = None if timeout is None else self._clock() + timeout
+        displaced: List[SolveRequest] = []
+        try:
+            with self._lock:
+                while True:
+                    if self._closed:
+                        # A put that was blocked on backpressure when the queue
+                        # closed must NOT slip its entry in after the final
+                        # flush — that request would never be batched.
+                        raise ServiceShutdownError(
+                            "ingress queue is closed; submit rejected"
+                        )
+                    displaced.extend(self._shed_expired_locked())
+                    floor = self._admission_floor_locked()
+                    if floor is not None and request.priority < floor:
+                        self.rejected_count += 1
+                        self._count_locked(request, "rejected")
+                        level = self._brownout_level_locked()
+                        raise QueueFullError(
+                            f"ingress brown-out level {level}: priority class "
+                            f"{request.priority} is rejected while the queue is "
+                            f"{len(self._entries)}/{self.capacity} full "
+                            f"(admitting priority >= {floor}); retry later"
+                        )
+                    if len(self._entries) < self.capacity:
+                        self._admit_locked(request)
+                        return
+                    victim = self._displacement_victim_locked(request)
+                    if victim is not None:
+                        self._remove_locked([victim])
+                        self.shed_count += 1
+                        self._count_locked(victim, "shed")
+                        displaced.append(victim)
+                        self._admit_locked(request)
+                        return
+                    if not block:
+                        self.rejected_count += 1
+                        self._count_locked(request, "rejected")
+                        raise QueueFullError(
+                            f"ingress queue full ({self.capacity} requests queued); "
+                            "slow down, retry later, or raise queue_capacity"
+                        )
+                    remaining = None if deadline is None else deadline - self._clock()
+                    if remaining is not None and remaining <= 0:
+                        self.rejected_count += 1
+                        self._count_locked(request, "rejected")
+                        raise QueueFullError(
+                            f"ingress queue still full after {timeout}s of backpressure"
+                        )
+                    # Wake when the earliest queued deadline elapses, not just
+                    # on explicit notify: shedding that entry is what frees the
+                    # space this put is waiting for, and nothing else touches
+                    # the queue on an idle service (a put blocked behind a
+                    # deadline-only occupant would otherwise wait forever).
+                    next_expiry = min(
+                        (r.deadline for r in self._entries if r.deadline is not None),
+                        default=None,
                     )
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
-                    self.rejected_count += 1
-                    raise QueueFullError(
-                        f"ingress queue still full after {timeout}s of backpressure"
-                    )
-                # Wake when the earliest queued deadline elapses, not just
-                # on explicit notify: shedding that entry is what frees the
-                # space this put is waiting for, and nothing else touches
-                # the queue on an idle service (a put blocked behind a
-                # deadline-only occupant would otherwise wait forever).
-                next_expiry = min(
-                    (r.deadline for r in self._entries if r.deadline is not None),
-                    default=None,
-                )
-                if next_expiry is not None:
-                    until_expiry = max(0.0, next_expiry - time.monotonic())
-                    remaining = (
-                        until_expiry if remaining is None
-                        else min(remaining, until_expiry)
-                    )
-                self._not_full.wait(timeout=remaining)
+                    if next_expiry is not None:
+                        until_expiry = max(0.0, next_expiry - self._clock())
+                        remaining = (
+                            until_expiry if remaining is None
+                            else min(remaining, until_expiry)
+                        )
+                    self._not_full.wait(timeout=remaining)
+        finally:
+            self._report_shed(displaced)
+
+    def _admit_locked(self, request: SolveRequest) -> None:
+        self._entries.append(request)
+        self._order[id(request)] = self._seq
+        self._seq += 1
+        self._count_locked(request, "admitted")
+        self._not_empty.notify_all()
+
+    def _displacement_victim_locked(self, request: SolveRequest) -> Optional[SolveRequest]:
+        """Lowest-class victim a full queue sheds for ``request``, if any.
+
+        Only a strictly lower-priority entry may be displaced — overflow
+        falls on the lowest class first, and equal-priority traffic never
+        displaces itself (that would just churn the queue).
+        """
+        if not self._entries:
+            return None
+        victim = min(self._indexed_locked(), key=_shed_key)[1]
+        if victim.priority < request.priority:
+            return victim
+        return None
+
+    def _indexed_locked(self) -> List[Tuple[int, SolveRequest]]:
+        return [(self._order[id(r)], r) for r in self._entries]
 
     # ------------------------------------------------------------------
     # claiming (batcher side)
     # ------------------------------------------------------------------
     def head_key(self, timeout: Optional[float] = None) -> Optional[CompatKey]:
-        """Compat key of the oldest highest-priority live entry.
+        """Compat key of the head entry under the claim-order contract
+        (priority desc, earliest deadline first, FIFO on ties).
 
         Blocks up to ``timeout`` seconds for an entry to arrive; returns
         ``None`` on timeout.  Expired entries are shed during the wait.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
-        with self._lock:
-            while True:
-                self._shed_expired_locked()
+        deadline = None if timeout is None else self._clock() + timeout
+        while True:
+            with self._lock:
+                shed = self._shed_expired_locked()
                 head = self._head_locked()
                 if head is not None:
+                    self._report_shed_async(shed)
                     return head.compat_key
                 if self._closed:
                     # Closed and empty: nothing will ever arrive.  Give up
                     # immediately so a shutdown flush is not held hostage
                     # by a long poll interval (the empty-queue drain race).
+                    self._report_shed_async(shed)
                     return None
-                remaining = None if deadline is None else deadline - time.monotonic()
+                remaining = None if deadline is None else deadline - self._clock()
                 if remaining is not None and remaining <= 0:
+                    self._report_shed_async(shed)
                     return None
+                self._report_shed_async(shed)
                 self._not_empty.wait(timeout=remaining)
 
     def take(self, key: CompatKey, max_items: int) -> List[SolveRequest]:
         """Remove up to ``max_items`` live entries with the given compat key.
 
-        Entries come out in priority order (descending, FIFO within equal
-        priority); entries with other keys are left untouched.
+        Entries come out in claim order — priority descending, earliest
+        deadline first within a class, FIFO for equal-priority
+        equal-deadline entries; entries with other keys are untouched.
         """
         if max_items < 1:
             return []
         with self._lock:
-            self._shed_expired_locked()
-            matching = [r for r in self._entries if r.compat_key == key]
-            matching.sort(key=lambda r: -r.priority)  # stable: FIFO within priority
-            taken = matching[:max_items]
+            shed = self._shed_expired_locked()
+            matching = [
+                (index, r) for index, r in self._indexed_locked()
+                if r.compat_key == key
+            ]
+            matching.sort(key=_edf_key)
+            taken = [r for _, r in matching[:max_items]]
             if taken:
-                taken_ids = {id(r) for r in taken}
-                self._entries = [r for r in self._entries if id(r) not in taken_ids]
+                self._remove_locked(taken)
+                self._dequeues.append((self._clock(), len(taken)))
                 self._not_full.notify_all()
-            return taken
+        self._report_shed(shed)
+        return taken
 
     def wait_for(
         self,
@@ -172,22 +408,26 @@ class IngressQueue:
         immediately when the queue closes or ``abort`` is set, so shutdown
         never waits out a long delay window.
         """
-        with self._lock:
-            while True:
+        while True:
+            with self._lock:
                 if self._closed or (abort is not None and abort.is_set()):
                     return False
-                self._shed_expired_locked()
+                shed = self._shed_expired_locked()
                 if any(r.compat_key == key for r in self._entries):
+                    self._report_shed_async(shed)
                     return True
-                remaining = deadline - time.monotonic()
+                remaining = deadline - self._clock()
                 if remaining <= 0:
+                    self._report_shed_async(shed)
                     return False
+                self._report_shed_async(shed)
                 self._not_empty.wait(timeout=remaining)
 
     def drain(self) -> List[SolveRequest]:
         """Remove and return every queued entry (used by shutdown)."""
         with self._lock:
             entries, self._entries = self._entries, []
+            self._order.clear()
             self._not_full.notify_all()
             return entries
 
@@ -213,26 +453,55 @@ class IngressQueue:
         whose deadline elapsed between claiming and dispatch)."""
         with self._lock:
             self.shed_count += 1
+            self._count_locked(request, "shed")
         if self._on_shed is not None:
             self._on_shed(request)
 
     # ------------------------------------------------------------------
-    # internals (lock held)
+    # internals
     # ------------------------------------------------------------------
     def _head_locked(self) -> Optional[SolveRequest]:
         if not self._entries:
             return None
-        return max(self._entries, key=lambda r: (r.priority, -r.submitted_at))
+        return min(self._indexed_locked(), key=_edf_key)[1]
 
-    def _shed_expired_locked(self) -> None:
-        now = time.monotonic()
-        live = [r for r in self._entries if not r.expired(now)]
-        if len(live) == len(self._entries):
-            return
+    def _remove_locked(self, requests: List[SolveRequest]) -> None:
+        removed = {id(r) for r in requests}
+        self._entries = [r for r in self._entries if id(r) not in removed]
+        for key in removed:
+            self._order.pop(key, None)
+
+    def _shed_expired_locked(self) -> List[SolveRequest]:
+        """Purge expired entries (insertion order); returns them for the
+        caller to report OUTSIDE the lock.
+
+        The callback chain (service shed path -> response future -> a
+        transport's delivery hook) must not run under the queue lock, or a
+        callback that re-enters the queue (e.g. a replica set re-routing)
+        would deadlock.
+        """
+        now = self._clock()
         expired = [r for r in self._entries if r.expired(now)]
-        self._entries = live
+        if not expired:
+            return []
+        self._remove_locked(expired)
         self.shed_count += len(expired)
+        for request in expired:
+            self._count_locked(request, "shed")
         self._not_full.notify_all()
+        return expired
+
+    def _report_shed(self, requests: List[SolveRequest]) -> None:
         if self._on_shed is not None:
-            for request in expired:
+            for request in requests:
                 self._on_shed(request)
+
+    def _report_shed_async(self, requests: List[SolveRequest]) -> None:
+        """Report sheds from inside a wait loop without dropping the lock
+        ordering: hand them to a short-lived thread so the callback never
+        runs under this queue's lock."""
+        if not requests or self._on_shed is None:
+            return
+        threading.Thread(
+            target=self._report_shed, args=(list(requests),), daemon=True
+        ).start()

@@ -102,6 +102,11 @@ class RemoteReplicaFleet:
         self._started = False
         #: Orphans no survivor would take — re-homed on the next reconnect.
         self._parked: List[Tuple[int, SolveRequest, Any]] = []
+        #: Hosts taken out of rotation by :meth:`scale_down`.  The fleet
+        #: cannot fork capacity, so scaling happens *within* the configured
+        #: address list: deactivate a host (stop routing to it, keep the
+        #: connection warm) and reactivate it later.
+        self._deactivated: set = set()
 
     # ------------------------------------------------------------------
     # events
@@ -239,7 +244,9 @@ class RemoteReplicaFleet:
 
         with self._lock:
             candidates = [
-                h for h in self._handles if h is not None and h.live
+                h for h in self._handles
+                if h is not None and h.live
+                and h.replica_id not in self._deactivated
             ]
         candidates = [h for h in candidates if h.accepting]
         candidates.sort(key=lambda h: (h.inflight, h.replica_id))
@@ -291,9 +298,12 @@ class RemoteReplicaFleet:
             if self._closing:
                 return
         self._record("reconnected", handle.replica_id, address=handle.address)
-        if self._set is not None:
+        with self._lock:
+            deactivated = handle.replica_id in self._deactivated
+        if self._set is not None and not deactivated:
             try:
-                # Undo a routing auto-ejection; a *drained* host stays out.
+                # Undo a routing auto-ejection; a *drained* host stays out,
+                # and so does one deactivated by scale-down.
                 self._set.restore(handle.replica_id)
             except (ServiceError, KeyError):
                 pass
@@ -346,8 +356,96 @@ class RemoteReplicaFleet:
     def num_replicas(self) -> int:
         return self.num_slots
 
+    # ------------------------------------------------------------------
+    # scaling (within the configured host list)
+    # ------------------------------------------------------------------
+    @property
+    def active_replicas(self) -> int:
+        """Hosts currently in rotation (configured minus deactivated)."""
+        with self._lock:
+            return self.num_slots - len(self._deactivated)
+
+    @property
+    def recorder(self) -> EventRecorder:
+        return self._recorder
+
+    def estimated_drain_seconds(self) -> Optional[float]:
+        replica_set = self._require_set()
+        estimate = getattr(replica_set, "estimated_drain_seconds", None)
+        if not callable(estimate):
+            return None
+        try:
+            return estimate()
+        except Exception:  # noqa: BLE001 — an estimate is advisory
+            return None
+
+    def note_scale_decision(self, decision: Dict[str, Any]) -> None:
+        replica_set = self._require_set()
+        note = getattr(replica_set, "note_scale_decision", None)
+        if callable(note):
+            note(decision)
+
+    def scale_up(self) -> Optional[int]:
+        """Reactivate the lowest-id deactivated host, or ``None`` if every
+        configured host is already in rotation (the fleet cannot fork new
+        capacity — growth beyond the address list is a bound, not an error).
+        """
+        replica_set = self._require_set()
+        with self._lock:
+            candidates = sorted(self._deactivated)
+        for replica_id in candidates:
+            handle = self._handles[replica_id]
+            if handle is None or handle.gave_up:
+                continue
+            try:
+                replica_set.restore(replica_id)
+            except (ServiceError, KeyError):
+                continue  # host not answering right now; try the next one
+            with self._lock:
+                self._deactivated.discard(replica_id)
+            return replica_id
+        return None
+
+    def scale_down(
+        self,
+        replica_id: Optional[int] = None,
+        *,
+        on_drained: Optional[Callable[[int], None]] = None,
+    ) -> Optional[int]:
+        """Deactivate one host (youngest active unless ``replica_id`` says
+        otherwise) and return its id, or ``None`` when only one host would
+        remain in rotation.
+
+        The host itself keeps running and its connection stays warm —
+        deactivation only removes it from placement (``eject(drain=False)``),
+        so jobs already on it finish normally over the open connection and
+        :meth:`scale_up` can put it back without a re-dial.
+        """
+        replica_set = self._require_set()
+        with self._lock:
+            active = [
+                i for i in range(self.num_slots) if i not in self._deactivated
+            ]
+            if len(active) <= 1:
+                return None
+            victim = replica_id if replica_id is not None else active[-1]
+            if victim not in active:
+                raise ServiceError(f"replica {victim} is already deactivated")
+            self._deactivated.add(victim)
+        try:
+            replica_set.eject(victim, drain=False)
+        except BaseException:
+            with self._lock:
+                self._deactivated.discard(victim)
+            raise
+        if on_drained is not None:
+            on_drained(victim)
+        return victim
+
     def metrics(self) -> ServiceMetrics:
-        return self._require_set().metrics()
+        metrics = self._require_set().metrics()
+        metrics.pool_size = self.active_replicas
+        return metrics
 
     def replica_rows(self) -> List[Dict[str, object]]:
         return self._require_set().replica_rows()
@@ -357,6 +455,9 @@ class RemoteReplicaFleet:
 
     def restore(self, replica_id: int) -> None:
         self._require_set().restore(replica_id)
+        with self._lock:
+            # A manual admin restore also undoes a scale-down deactivation.
+            self._deactivated.discard(replica_id)
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         return self._require_set().drain(timeout)

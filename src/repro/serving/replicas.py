@@ -40,6 +40,22 @@ Routing-aware admission
   background — its accepted requests still complete and are collected
   through the set, so ejection never loses or re-bills a job.
 
+Dynamic pool
+------------
+
+The slot list is **append-only**: :meth:`ReplicaSet.add_replica` (or
+:meth:`~ReplicaSet.scale_up`) appends a new slot, and
+:meth:`~ReplicaSet.retire_replica` (or :meth:`~ReplicaSet.scale_down`)
+turns an existing slot into a *tombstone* — out of placement immediately,
+drained in the background, its final counter snapshot frozen so the set's
+aggregate ledger keeps balancing after the handle closes.  Slots are never
+physically removed, so ``replica_id`` remains a stable index for routing,
+admin endpoints, and event logs.  The autoscaling controller
+(:mod:`repro.serving.autoscale`) drives these through the
+``scale_up`` / ``scale_down`` / ``active_replicas`` /
+``note_scale_decision`` seam, which the supervisor and remote fleet also
+implement for process-backed and cross-host pools.
+
 Request ids are unique across replicas (they come from one process-wide
 counter), so the set can keep a flat ``request_id -> replica`` routing map.
 """
@@ -67,14 +83,36 @@ class _Replica:
     service: ReplicaHandle
     healthy: bool = True
     ejected: bool = False
+    retired: bool = False          #: scaled down; slot is a tombstone
     routed: int = 0                #: requests this replica admitted
     consecutive_rejects: int = 0   #: admission failures since last success
+    #: Aggregate-counter snapshot frozen when a retired replica finished
+    #: draining — keeps its submitted/completed/shed ledger in the set's
+    #: totals after the underlying handle is gone (a live ``metrics()``
+    #: call on a closed handle would read all-zero and the books would
+    #: stop balancing).
+    final_metrics: Optional[ServiceMetrics] = None
 
     def as_row(self) -> Dict[str, object]:
+        if self.retired and self.final_metrics is not None:
+            # Fully drained tombstone: the handle may already be closed, so
+            # report the frozen terminal state instead of dialing it.
+            return {
+                "replica": self.replica_id,
+                "healthy": False,
+                "ejected": True,
+                "retired": True,
+                "accepting": False,
+                "inflight": 0,
+                "queue_depth": 0,
+                "routed": self.routed,
+                "live": False,
+            }
         return {
             "replica": self.replica_id,
             "healthy": self.healthy,
             "ejected": self.ejected,
+            "retired": self.retired,
             "accepting": self.service.accepting,
             "inflight": self.service.inflight,
             "queue_depth": self.service.queue_depth,
@@ -124,6 +162,8 @@ class ReplicaSet:
                 # seeds seed + 1000*i + {0, 1, ...}.
                 return SolveService(seed=seed + 1000 * replica_id, **service_kwargs)
         self._lock = threading.Lock()
+        self._scale_lock = threading.Lock()  # serialises add/retire, not routing
+        self._service_factory = service_factory
         self._replicas = [
             _Replica(i, service_factory(i)) for i in range(int(replicas))
         ]
@@ -131,6 +171,7 @@ class ReplicaSet:
         self.spill_inflight = spill_inflight
         self.auto_eject_after = int(auto_eject_after)
         self._drain_threads: List[threading.Thread] = []
+        self._last_scale: Optional[Dict[str, object]] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -311,6 +352,11 @@ class ReplicaSet:
         :class:`~repro.errors.ServiceError`.
         """
         replica = self._replica(replica_id)
+        if replica.retired:
+            raise ServiceError(
+                f"replica {replica_id} was retired by scale-down and cannot be "
+                "restored; scale up to add a fresh replica instead"
+            )
         if not replica.service.accepting:
             raise ServiceError(
                 f"replica {replica_id} has been drained and cannot be restored; "
@@ -347,33 +393,190 @@ class ReplicaSet:
             )
 
     def replica_rows(self) -> List[Dict[str, object]]:
-        """Routing/health view, one row per replica (admin endpoint).
+        """Routing/health view, one row per slot (admin endpoint).
 
         Deliberately NOT under the set lock: ``as_row`` reads per-service
         state whose locks the shed-callback chain holds while waiting for
         the set lock (see :meth:`_placement_order`'s lock-order invariant).
-        The replica list never changes length (``replace_handle`` swaps a
-        slot atomically) and the flag reads are atomic, so the rows are a
-        consistent-enough advisory snapshot.
+        The slot list is append-only (``replace_handle`` swaps a slot
+        atomically; scale-down tombstones a slot rather than removing it)
+        and the flag reads are atomic, so the rows are a consistent-enough
+        advisory snapshot.  Retired slots report their frozen terminal row.
         """
-        return [r.as_row() for r in self._replicas]
+        return [r.as_row() for r in list(self._replicas)]
 
     @property
     def num_replicas(self) -> int:
+        """Total slots ever created, including retired tombstones."""
         return len(self._replicas)
+
+    @property
+    def active_replicas(self) -> int:
+        """Slots currently in placement (not ejected, not retired)."""
+        with self._lock:
+            return sum(
+                1 for r in self._replicas if not r.ejected and not r.retired
+            )
 
     @property
     def accepting(self) -> bool:
         """True while at least one replica admits new requests."""
-        return any(not r.ejected and r.service.accepting for r in self._replicas)
+        return any(
+            not r.ejected and not r.retired and r.service.accepting
+            for r in list(self._replicas)
+        )
 
     @property
     def inflight(self) -> int:
-        return sum(r.service.inflight for r in self._replicas)
+        return sum(
+            r.service.inflight
+            for r in list(self._replicas)
+            if r.final_metrics is None
+        )
 
     @property
     def queue_depth(self) -> int:
-        return sum(r.service.queue_depth for r in self._replicas)
+        return sum(
+            r.service.queue_depth
+            for r in list(self._replicas)
+            if r.final_metrics is None
+        )
+
+    def estimated_drain_seconds(self) -> Optional[float]:
+        """Worst per-replica backlog drain estimate (Retry-After hints).
+
+        The slowest replica bounds when a retried request is likely to be
+        admitted anywhere, so the max is the honest hint.  ``None`` when no
+        replica can estimate yet.
+        """
+        estimates = []
+        for replica in list(self._replicas):
+            if replica.ejected or replica.retired:
+                continue
+            probe = getattr(replica.service, "estimated_drain_seconds", None)
+            if not callable(probe):
+                continue
+            try:
+                estimate = probe()
+            except Exception:  # noqa: BLE001 — a hint, never worth failing
+                continue
+            if estimate is not None:
+                estimates.append(float(estimate))
+        return max(estimates) if estimates else None
+
+    # ------------------------------------------------------------------
+    # dynamic pool (the autoscaling seam)
+    # ------------------------------------------------------------------
+    def add_replica(self, handle: Optional[ReplicaHandle] = None) -> int:
+        """Append a new replica slot; returns its replica id.
+
+        Builds the replica with the set's ``service_factory`` unless a
+        ready ``handle`` is supplied (a supervisor passes the handle of a
+        child it already spawned).  The new replica enters placement
+        immediately.
+        """
+        with self._scale_lock:
+            with self._lock:
+                if self._closed:
+                    raise ServiceShutdownError(
+                        "replica set is shut down; cannot add a replica"
+                    )
+                replica_id = len(self._replicas)
+            service = handle if handle is not None else self._service_factory(replica_id)
+            with self._lock:
+                self._replicas.append(_Replica(replica_id, service))
+            return replica_id
+
+    def retire_replica(
+        self,
+        replica_id: int,
+        *,
+        drain: bool = True,
+        on_drained: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Take a replica out of the pool permanently (scale-down).
+
+        The slot leaves placement immediately but is never removed: its
+        in-flight work drains in the background, its final counter
+        snapshot is frozen into the slot (so aggregate metrics keep every
+        admitted job on the books), and only then is the handle released —
+        to ``on_drained`` when given (a supervisor terminates the child
+        there), otherwise via ``handle.shutdown``.  A retired replica can
+        never be restored; scale up instead.
+        """
+        replica = self._replica(replica_id)
+        with self._lock:
+            if replica.retired:
+                return
+            replica.retired = True
+            replica.ejected = True
+            replica.healthy = False
+
+        def _finish() -> None:
+            if drain:
+                replica.service.drain()
+            try:
+                final = replica.service.metrics()
+            except Exception:  # noqa: BLE001 — unreachable handle
+                final = ServiceMetrics.empty()
+            with self._lock:
+                replica.final_metrics = final
+            if on_drained is not None:
+                try:
+                    on_drained(replica_id)
+                except Exception:  # noqa: BLE001 — owner's teardown problem
+                    pass
+            else:
+                try:
+                    replica.service.shutdown(drain=False)
+                except Exception:  # noqa: BLE001
+                    pass
+
+        thread = threading.Thread(
+            target=_finish, name=f"repro-replica-retire-{replica_id}", daemon=True
+        )
+        thread.start()
+        with self._lock:
+            self._drain_threads.append(thread)
+
+    def scale_up(self) -> int:
+        """Autoscaler seam: add one replica, returns its id."""
+        return self.add_replica()
+
+    def scale_down(
+        self,
+        replica_id: Optional[int] = None,
+        *,
+        on_drained: Optional[Callable[[int], None]] = None,
+    ) -> Optional[int]:
+        """Autoscaler seam: retire one replica (drained, never dropped).
+
+        Picks the youngest active replica unless ``replica_id`` names one;
+        refuses (returns ``None``) rather than retire the last active
+        replica.
+        """
+        with self._scale_lock:
+            with self._lock:
+                active = [
+                    r for r in self._replicas if not r.ejected and not r.retired
+                ]
+            if len(active) <= 1:
+                return None
+            if replica_id is None:
+                victim = max(active, key=lambda r: r.replica_id)
+            else:
+                victim = next(
+                    (r for r in active if r.replica_id == replica_id), None
+                )
+                if victim is None:
+                    raise KeyError(f"replica {replica_id} is not active")
+            self.retire_replica(victim.replica_id, on_drained=on_drained)
+            return victim.replica_id
+
+    def note_scale_decision(self, decision: Dict[str, object]) -> None:
+        """Record the most recent autoscaling decision for ``/metrics``."""
+        with self._lock:
+            self._last_scale = dict(decision)
 
     # ------------------------------------------------------------------
     # observability
@@ -385,18 +588,35 @@ class ReplicaSet:
         ledger, queue depth, in-flight) are summed; latency percentiles are
         the *worst* replica's (a conservative service-level view — exact
         cross-replica percentiles would need the raw windows); occupancy is
-        request-weighted.  A replica whose process is unreachable
-        contributes an all-zero snapshot instead of failing the scrape.
+        request-weighted; per-priority-class ledgers are merged.  A replica
+        whose process is unreachable contributes an all-zero snapshot
+        instead of failing the scrape; a *retired* replica contributes the
+        counter snapshot frozen when it finished draining, so scale-down
+        never loses admitted jobs from the books.
         """
         replicas = list(self._replicas)
 
         def _snap(replica: _Replica) -> ServiceMetrics:
+            with self._lock:
+                final = replica.final_metrics
+            if final is not None:
+                return final
             try:
                 return replica.service.metrics()
             except Exception:  # noqa: BLE001 — dead process must not break /metrics
                 return ServiceMetrics.empty()
 
         snaps = [_snap(r) for r in replicas]
+        classes: Dict[str, Dict[str, int]] = {}
+        for snap in snaps:
+            for cls_key, counters in snap.priority_classes.items():
+                merged = classes.setdefault(
+                    cls_key, {"admitted": 0, "shed": 0, "rejected": 0}
+                )
+                for outcome, count in counters.items():
+                    merged[outcome] = merged.get(outcome, 0) + int(count)
+        with self._lock:
+            last_scale = self._last_scale
         batches = sum(s.batches for s in snaps)
         requests = sum(s.batches * s.mean_occupancy for s in snaps)
         return ServiceMetrics(
@@ -430,11 +650,20 @@ class ReplicaSet:
             replicas=[
                 {
                     "replica": replica.replica_id,
-                    "inflight": snap.inflight,
-                    **liveness_row(replica.service),
+                    "inflight": 0 if replica.final_metrics is not None else snap.inflight,
+                    **(
+                        {"live": False, "retired": True}
+                        if replica.final_metrics is not None
+                        else liveness_row(replica.service)
+                    ),
                 }
                 for replica, snap in zip(replicas, snaps)
             ],
+            priority_classes=classes,
+            pool_size=sum(
+                1 for r in replicas if not r.ejected and not r.retired
+            ),
+            last_scale=last_scale,
         )
 
     # ------------------------------------------------------------------
@@ -442,15 +671,15 @@ class ReplicaSet:
     # ------------------------------------------------------------------
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Stop admission everywhere and wait for all replicas to go idle."""
+        live = [r for r in list(self._replicas) if r.final_metrics is None]
         threads = [
-            threading.Thread(target=r.service.drain, daemon=True)
-            for r in self._replicas
+            threading.Thread(target=r.service.drain, daemon=True) for r in live
         ]
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join(timeout=timeout)
-        return all(r.service.inflight == 0 for r in self._replicas)
+        return all(r.service.inflight == 0 for r in live)
 
     def shutdown(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Shut every replica down (drain semantics per replica)."""
@@ -461,12 +690,17 @@ class ReplicaSet:
             drain_threads = list(self._drain_threads)
         for thread in drain_threads:
             thread.join(timeout=timeout)
+
+        def _stop(svc: ReplicaHandle) -> None:
+            try:
+                svc.shutdown(drain=drain, timeout=timeout)
+            except Exception:  # noqa: BLE001 — already-terminated handles
+                pass
+
         threads = [
-            threading.Thread(
-                target=lambda svc=r.service: svc.shutdown(drain=drain, timeout=timeout),
-                daemon=True,
-            )
-            for r in self._replicas
+            threading.Thread(target=_stop, args=(r.service,), daemon=True)
+            for r in list(self._replicas)
+            if r.final_metrics is None
         ]
         for thread in threads:
             thread.start()

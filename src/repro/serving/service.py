@@ -76,6 +76,21 @@ class SolveService:
         Applied to requests that do not specify their own.
     seed:
         Seeds the worker machines (deterministic RANDOM-winner draws).
+    brownout_thresholds, brownout_floors:
+        Queue-occupancy brown-out policy (see
+        :class:`~repro.serving.queue.IngressQueue`): at each occupancy
+        threshold, priority classes below the matching floor are rejected
+        instead of queued.  Defaults shed only negative (best-effort)
+        classes.
+    max_worker_backlog:
+        Instances allowed to sit in worker shard queues before the
+        batcher stops claiming from the ingress queue.  Deep shard queues
+        are invisible latency — work there is already committed, beyond
+        the reach of priorities, deadlines and brown-out — so bounding
+        them keeps overload *in the ingress queue* where admission
+        control can discriminate.  Defaults to ``2 * workers *
+        max_batch_size`` (every shard double-buffered); ``None`` disables
+        the gate.
     """
 
     def __init__(
@@ -91,6 +106,9 @@ class SolveService:
         default_algorithm: str = "jaja-ryu",
         default_audit: bool = True,
         seed: int = 0,
+        brownout_thresholds=(0.85, 0.95),
+        brownout_floors=(-1, 0),
+        max_worker_backlog: Optional[int] = -1,
     ) -> None:
         if mode not in ("packed", "sequential"):
             raise ValueError(f"unknown mode {mode!r}; choose 'packed' or 'sequential'")
@@ -98,13 +116,27 @@ class SolveService:
         self.default_algorithm = default_algorithm
         self.default_audit = bool(default_audit)
         self._metrics = MetricsRecorder()
-        self._queue = IngressQueue(queue_capacity, on_shed=self._on_shed)
+        self._queue = IngressQueue(
+            queue_capacity,
+            on_shed=self._on_shed,
+            brownout_thresholds=brownout_thresholds,
+            brownout_floors=brownout_floors,
+        )
         self._pool = create_worker_pool(backend, workers, placement=placement, seed=seed)
+        if max_worker_backlog == -1:
+            max_worker_backlog = 2 * workers * max_batch_size
+        self.max_worker_backlog = max_worker_backlog
+        backpressure = None
+        if max_worker_backlog is not None:
+            backpressure = (
+                lambda: self._pool.backlog >= self.max_worker_backlog
+            )
         self._batcher = MicroBatcher(
             self._queue,
             self._dispatch,
             max_batch_size=max_batch_size,
             max_batch_delay=max_batch_delay,
+            backpressure=backpressure,
         )
         self._lock = threading.Lock()
         self._futures: Dict[int, "Future[SolveResponse]"] = {}
@@ -240,6 +272,16 @@ class SolveService:
     def queue_depth(self) -> int:
         """Requests sitting in the ingress queue (not yet claimed)."""
         return len(self._queue)
+
+    def estimated_drain_seconds(self) -> Optional[float]:
+        """Estimated seconds for the current ingress backlog to drain at
+        the observed claim rate (``None`` with no history; transports use
+        it for honest Retry-After hints)."""
+        return self._queue.estimated_drain_seconds()
+
+    def brownout_level(self) -> int:
+        """Current ingress brown-out level (0 = normal admission)."""
+        return self._queue.brownout_level()
 
     # ------------------------------------------------------------------
     # asyncio front end
@@ -425,4 +467,5 @@ class SolveService:
             max_occupancy=stats.max_occupancy,
             pram=self._pool.cost_totals(),
             workers=[s.as_row() for s in self._pool.stats()],
+            priority_classes=self._queue.priority_class_counters(),
         )

@@ -101,6 +101,7 @@ class _Slot:
     restarts: int = 0
     restart_at: Optional[float] = None   #: monotonic instant of the next respawn
     gave_up: bool = False
+    retired: bool = False                #: scaled down; never restarted
     spawned: int = field(default=0)      #: total spawns (port-file nonce)
 
 
@@ -168,6 +169,7 @@ class ReplicaSupervisor:
         self.spawn_timeout = float(spawn_timeout)
         self.shutdown_timeout = float(shutdown_timeout)
         self._lock = threading.RLock()
+        self._scale_lock = threading.Lock()  # serialises scale_up/scale_down
         self._slots = [_Slot(i) for i in range(self.num_slots)]
         self._set: Optional[ReplicaSet] = None
         self._monitor: Optional[threading.Thread] = None
@@ -321,9 +323,11 @@ class ReplicaSupervisor:
             closing = self._closing
             slot = self._slots[handle.replica_id]
             current = slot.handle is handle
-        if closing or not current:
-            # Shutdown in progress, or a superseded handle's late death:
-            # nothing to restart, just settle whatever it still carried.
+            retired = slot.retired
+        if closing or not current or retired:
+            # Shutdown in progress, a superseded handle's late death, or a
+            # scaled-down replica exiting on schedule: nothing to restart,
+            # just settle whatever it still carried.
             self._fail_orphans(orphans, JobStatus.CANCELLED,
                                "replica shut down before answering")
             return
@@ -443,10 +447,12 @@ class ReplicaSupervisor:
         tick = max(0.01, self.heartbeat_interval / 2.0)
         while not self._stop.wait(tick):
             now = time.monotonic()
-            for slot in self._slots:
+            for slot in list(self._slots):
                 with self._lock:
                     if self._closing:
                         return
+                    if slot.retired:
+                        continue
                     handle, proc = slot.handle, slot.proc
                     due = (
                         not slot.gave_up
@@ -544,6 +550,106 @@ class ReplicaSupervisor:
     @property
     def num_replicas(self) -> int:
         return self.num_slots
+
+    @property
+    def active_replicas(self) -> int:
+        """Replicas currently in placement (scale seam)."""
+        return 0 if self._set is None else self._set.active_replicas
+
+    def estimated_drain_seconds(self) -> Optional[float]:
+        """Worst per-replica drain estimate, when any handle reports one."""
+        if self._set is None:
+            return None
+        return self._set.estimated_drain_seconds()
+
+    @property
+    def recorder(self) -> EventRecorder:
+        """The shared lifecycle recorder (a pool controller logs here too)."""
+        return self._recorder
+
+    def note_scale_decision(self, decision: Dict[str, Any]) -> None:
+        self._require_set().note_scale_decision(decision)
+
+    # ------------------------------------------------------------------
+    # dynamic pool (the autoscaling seam)
+    # ------------------------------------------------------------------
+    def scale_up(self) -> int:
+        """Spawn one more child process and add it to placement.
+
+        Appends a new slot (slot ids are append-only, matching the set's
+        contract), spawns the worker, and installs its handle as a new
+        replica.  Returns the new replica id.
+        """
+        with self._scale_lock:
+            replica_set = self._require_set()
+            with self._lock:
+                if self._closing:
+                    raise ServiceShutdownError("supervisor is shutting down")
+                slot = _Slot(len(self._slots))
+                self._slots.append(slot)
+                self.num_slots = len(self._slots)
+            try:
+                handle = self._spawn_child(slot)
+            except BaseException:
+                with self._lock:
+                    slot.retired = True
+                    slot.gave_up = True
+                raise
+            replica_id = replica_set.add_replica(handle=handle)
+            assert replica_id == slot.replica_id, (
+                f"slot/set id drift: {slot.replica_id} vs {replica_id}"
+            )
+            return replica_id
+
+    def scale_down(self) -> Optional[int]:
+        """Retire the youngest active child: drain, SIGTERM, reap.
+
+        The set drains the victim's in-flight work first; only after the
+        drain completes is the child terminated, so scale-down never loses
+        an accepted job.  Returns the retired replica id, or ``None`` when
+        only one active replica remains.
+        """
+        with self._scale_lock:
+            replica_set = self._require_set()
+            with self._lock:
+                active = [
+                    s for s in self._slots
+                    if not s.retired and not s.gave_up and s.handle is not None
+                ]
+                if len(active) <= 1:
+                    return None
+                slot = max(active, key=lambda s: s.replica_id)
+                # Mark before the set acts so the child's scheduled exit is
+                # never mistaken for a crash (no restart, no death event).
+                slot.retired = True
+                slot.restart_at = None
+            retired = replica_set.scale_down(
+                slot.replica_id, on_drained=self._terminate_child
+            )
+            if retired is None:
+                with self._lock:
+                    slot.retired = False
+                return None
+            return retired
+
+    def _terminate_child(self, replica_id: int) -> None:
+        """Post-drain teardown of a scaled-down child (retire callback)."""
+        with self._lock:
+            slot = self._slots[replica_id]
+            proc, handle = slot.proc, slot.handle
+            slot.proc = None
+        if proc is not None:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=self.shutdown_timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+            self._reap(proc)
+            self._record("child_exit", replica_id, pid=proc.pid,
+                         exit_code=proc.returncode, retired=True)
+        if handle is not None:
+            handle.close()
 
     def metrics(self) -> ServiceMetrics:
         return self._require_set().metrics()

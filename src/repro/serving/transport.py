@@ -69,9 +69,38 @@ _REASONS = {
     503: "Service Unavailable", 504: "Gateway Timeout",
 }
 
-#: Retry-After seconds advertised for transient rejections.
+#: Fallback Retry-After seconds for transient rejections (used when no
+#: drain-time estimate is available from the admitting queue).
 RETRY_AFTER_SECONDS = {"queue_full": 1, "too_many_inflight": 1,
                        "shutting_down": 5, "replica_unavailable": 5}
+
+#: Load-related rejections advertise the queue's estimated drain time as
+#: their Retry-After, clamped to this range — honest enough to spread a
+#: thundering herd, bounded enough that a stale estimate can't park
+#: clients for minutes.
+RETRY_AFTER_MIN_SECONDS = 1
+RETRY_AFTER_MAX_SECONDS = 30
+
+#: Error codes whose Retry-After tracks queue drain time (overload), as
+#: opposed to lifecycle codes where a constant is the honest answer.
+_LOAD_RETRY_CODES = frozenset({"queue_full", "too_many_inflight"})
+
+
+def retry_after_hint(code: str, drain_seconds: Optional[float] = None) -> Optional[int]:
+    """Retry-After seconds to advertise for an error ``code``.
+
+    For load-related rejections (queue full, inflight cap) with a known
+    queue drain estimate, returns the estimate rounded up and clamped to
+    ``[RETRY_AFTER_MIN_SECONDS, RETRY_AFTER_MAX_SECONDS]``; otherwise the
+    static :data:`RETRY_AFTER_SECONDS` fallback (``None`` for codes that
+    should not carry the header at all).
+    """
+    if code not in _LOAD_RETRY_CODES or drain_seconds is None:
+        return RETRY_AFTER_SECONDS.get(code)
+    return max(
+        RETRY_AFTER_MIN_SECONDS,
+        min(RETRY_AFTER_MAX_SECONDS, int(-(-float(drain_seconds) // 1))),
+    )
 
 
 class _JobTable:
@@ -391,13 +420,27 @@ class HttpIngress:
         return self._error("internal", f"{type(exc).__name__}: {exc}")
 
     def _error(self, code: str, message: str) -> Tuple[int, Any, Dict[str, str]]:
-        retry_after = RETRY_AFTER_SECONDS.get(code)
+        retry_after = retry_after_hint(code, self._drain_estimate(code))
         headers = {} if retry_after is None else {"Retry-After": str(retry_after)}
         return (
             wire.ERROR_STATUS[code],
             wire.error_document(code, message, retry_after=retry_after),
             headers,
         )
+
+    def _drain_estimate(self, code: str) -> Optional[float]:
+        """The admitting queue's estimated drain time, when the backend
+        exposes one and the error is load-related (429s advertise how long
+        the backlog actually takes to clear, not a constant)."""
+        if code not in _LOAD_RETRY_CODES:
+            return None
+        estimate = getattr(self.backend, "estimated_drain_seconds", None)
+        if not callable(estimate):
+            return None
+        try:
+            return estimate()
+        except Exception:  # noqa: BLE001 — a hint, never worth a 500
+            return None
 
     # ------------------------------------------------------------------
     # endpoints

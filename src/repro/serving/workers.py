@@ -130,6 +130,18 @@ class WorkerPool:
         """Aggregate PRAM ledger across every shard."""
         raise NotImplementedError
 
+    @property
+    def backlog(self) -> int:
+        """Instances submitted but not yet solved, across every shard.
+
+        This is the occupancy signal admission control keys on: while the
+        backlog is deep the batcher stops claiming from the ingress queue,
+        so overload piles up *in front of* the service — where priorities,
+        deadlines and brown-out can discriminate — instead of hiding in
+        per-shard job queues as invisible latency.
+        """
+        raise NotImplementedError
+
 
 class _Shard(threading.Thread):
     """One worker thread with its own job queue and persistent machine."""
@@ -216,6 +228,11 @@ class ThreadedWorkerPool(WorkerPool):
     def stats(self) -> List[WorkerStats]:
         return [shard.stats for shard in self._shards]
 
+    @property
+    def backlog(self) -> int:
+        with self._lock:
+            return sum(shard.pending_instances for shard in self._shards)
+
     def cost_totals(self) -> CostSummary:
         time_total = work = charged = 0
         for shard in self._shards:
@@ -239,6 +256,7 @@ class ProcessWorkerPool(WorkerPool):
         self._stats: Dict[int, WorkerStats] = {}
         self._totals = CostSummary()
         self._pid_to_id: Dict[int, int] = {}
+        self._pending_instances = 0
 
     def submit(self, batch: Batch, mode: str) -> "Future[BatchOutcome]":
         payload = (
@@ -250,11 +268,16 @@ class ProcessWorkerPool(WorkerPool):
             self.seed,
         )
         start = time.monotonic()
+        num_instances = len(batch)
+        with self._lock:
+            self._pending_instances += num_instances
         inner = self._executor.submit(_solve_in_process, payload)
         outer: "Future[BatchOutcome]" = Future()
         outer.set_running_or_notify_cancel()
 
         def relay(done: "Future") -> None:
+            with self._lock:
+                self._pending_instances -= num_instances
             exc = done.exception()
             if exc is not None:
                 outer.set_exception(exc)
@@ -278,6 +301,11 @@ class ProcessWorkerPool(WorkerPool):
 
     def shutdown(self, *, wait: bool = True) -> None:
         self._executor.shutdown(wait=wait)
+
+    @property
+    def backlog(self) -> int:
+        with self._lock:
+            return self._pending_instances
 
     def stats(self) -> List[WorkerStats]:
         with self._lock:

@@ -75,6 +75,23 @@ def test_runner_writes_schema_versioned_artifact(tmp_path):
     assert any("E1 (Table 1)" in table for table in document["tables"])
 
 
+def test_rewriting_an_artifact_preserves_sibling_sections(tmp_path):
+    """Regenerating an experiment must not drop sections other tools
+    maintain in the same file — e.g. the ``capacity_model`` the serving
+    load sweep commits into ``BENCH_SERVING.json``."""
+    path = tmp_path / "BENCH_E1.json"
+    path.write_text(json.dumps({"capacity_model": {"pools": [{"replicas": 1}]}}))
+    runner = BenchmarkRunner(out_dir=str(tmp_path))
+    runner.run_experiment([SweepConfig("e1", sizes=(64,), workload="mixed")])
+    document = load_artifact(str(path))
+    assert document["experiment"] == "e1"
+    assert document["capacity_model"] == {"pools": [{"replicas": 1}]}
+    # a corrupt pre-existing file must not break the write
+    path.write_text("{ not json")
+    runner.run_experiment([SweepConfig("e1", sizes=(64,), workload="mixed")])
+    assert load_artifact(str(path))["experiment"] == "e1"
+
+
 def test_runner_merges_cells_of_one_experiment(tmp_path):
     runner = BenchmarkRunner(out_dir=str(tmp_path))
     result = runner.run_experiment([

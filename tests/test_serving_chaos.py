@@ -329,3 +329,73 @@ def test_breaker_transitions_are_logged_as_fleet_events():
     finally:
         fleet.shutdown()
         host.close()
+
+# ----------------------------------------------------------------------
+# chaos x scaling: faults while the pool is changing shape
+# ----------------------------------------------------------------------
+def test_host_death_while_scaled_down_never_rehomes_to_deactivated_host():
+    """A host dies while the fleet is scaled down.
+
+    Host 2 is deactivated by scale-down and host 1 is placement-ejected,
+    so all traffic lands on host 0 (behind a chaos proxy).  Host 0 then
+    dies.  The orphans must re-home to host 1 only — a deactivated host is
+    out of rotation for re-homing too, not just for fresh admissions — and
+    a later scale-up must bring host 2 straight back into rotation over
+    its still-warm connection, with every job answered exactly once.
+    """
+    hosts = [_Host(), _Host(), _Host()]
+    proxy = ChaosTcpProxy(hosts[0].address).start()
+    fleet = None
+    try:
+        fleet = RemoteReplicaFleet(
+            [proxy.address, hosts[1].address, hosts[2].address],
+            heartbeat_interval=0.05,
+            heartbeat_timeout=1.0,
+            dead_after=2.0,
+            request_timeout=30.0,
+            dial_timeout=0.5,
+            policy=FailurePolicy(
+                request_timeout=30.0,
+                reconnect_backoff=BackoffPolicy(base=0.05, cap=0.2, jitter=0.0),
+            ),
+        ).start()
+        assert fleet.scale_down() == 2  # deactivate the youngest host
+        assert fleet.active_replicas == 2
+        fleet.eject(1, drain=False)  # placement only: everything -> host 0
+        # One big request pins host 0's single worker; the small ones
+        # queued behind it are still pending when the host dies.
+        work = list(generate_requests(1, 200_000, seed=37)) + list(
+            generate_requests(5, 64, seed=38)
+        )
+        requests = [SolveRequest.make(f, b, audit=audit) for f, b, audit in work]
+        ids = [fleet.submit_request(request) for request in requests]
+        proxy.set_blackhole(True)
+        proxy.drop_connections()
+        responses = [fleet.result(request_id, timeout=60.0) for request_id in ids]
+        # Zero lost, zero double-billed, right answers under original ids.
+        assert [r.status for r in responses] == [JobStatus.DONE] * len(ids)
+        assert sorted(r.request_id for r in responses) == sorted(ids)
+        for (f, b, audit), response in zip(work, responses):
+            assert np.array_equal(
+                response.labels, coarsest_partition(f, b, audit=audit).labels
+            )
+        rehomed = [
+            e for e in fleet.events() if e["event"] == "rehome" and e.get("ok")
+        ]
+        assert rehomed and all(e["to"] == 1 for e in rehomed)  # never host 2
+        # Scale-up reactivates host 2 and it serves immediately.
+        assert fleet.scale_up() == 2
+        assert fleet.active_replicas == 3
+        f, b, audit = list(generate_requests(1, 64, seed=39))[0]
+        request_id = fleet.submit_request(SolveRequest.make(f, b, audit=audit))
+        response = fleet.result(request_id, timeout=30.0)
+        assert response.status is JobStatus.DONE
+        assert np.array_equal(
+            response.labels, coarsest_partition(f, b, audit=audit).labels
+        )
+    finally:
+        if fleet is not None:
+            fleet.shutdown()
+        proxy.close()
+        for host in hosts:
+            host.close()

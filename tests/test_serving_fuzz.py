@@ -12,10 +12,19 @@ deadlines:
    ``BatchItemReport`` share (the zip in ``SolveService._complete`` relies
    on ``len(result.per_instance) == len(batch.requests)``);
 4. expired requests are shed, not solved late;
-5. within a batch, requests come out in priority order (descending, FIFO
-   within equal priority), matching the queue's claim contract.
+5. within a batch, requests come out in claim order — priority descending,
+   earliest deadline first within a class (deadline-less last), FIFO for
+   equal-priority equal-deadline entries — matching the queue's contract.
+
+The queue's *shed-order contract* (who gets displaced when a full queue
+admits a higher-priority request) is fuzzed here too: lowest priority
+class first; most slack first within a class (deadline-less before late
+deadlines before early ones); equal-priority equal-deadline sheds in
+insertion order.  That tiebreak used to be an accident of implementation —
+it is now pinned as documented behaviour.
 """
 
+import math
 from collections import Counter
 
 import numpy as np
@@ -63,7 +72,11 @@ def test_batcher_never_mixes_keys_and_accounts_every_request_once(specs, max_bat
     }
     shed = []
     batches = []
-    queue = IngressQueue(capacity=len(requests) + 1, on_shed=shed.append)
+    # Brown-out is the admission layer's concern; these properties are about
+    # coalescing, so admit every class regardless of occupancy.
+    queue = IngressQueue(
+        capacity=len(requests) + 1, on_shed=shed.append, brownout_thresholds=None
+    )
     batcher = MicroBatcher(queue, batches.append, max_batch_size=max_batch_size)
     for request in requests:
         queue.put(request, block=False)
@@ -91,15 +104,19 @@ def test_batcher_never_mixes_keys_and_accounts_every_request_once(specs, max_bat
     # (4) dead-on-arrival requests are shed, never dispatched
     assert expired_ids <= set(shed_ids)
 
-    # (5) priority order within each batch (descending; stable FIFO)
+    # (5) claim order within each batch: priority descending, EDF within a
+    # class (deadline-less last), FIFO on exact ties.  Request ids are
+    # allocation-ordered, so they encode insertion order.
     for batch in batches:
-        priorities = [r.priority for r in batch.requests]
-        assert priorities == sorted(priorities, reverse=True)
-        same_priority_ids = {}
-        for r in batch.requests:
-            same_priority_ids.setdefault(r.priority, []).append(r.request_id)
-        for ids in same_priority_ids.values():
-            assert ids == sorted(ids)  # ids are allocation-ordered == FIFO
+        keys = [
+            (
+                -r.priority,
+                math.inf if r.deadline is None else r.deadline,
+                r.request_id,
+            )
+            for r in batch.requests
+        ]
+        assert keys == sorted(keys)
 
 
 @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
@@ -110,7 +127,11 @@ def test_every_dispatched_batch_bills_exactly_one_share_per_member(specs, max_ba
     billing zip depends on."""
     requests = [_build(spec) for spec in specs]
     batches = []
-    queue = IngressQueue(capacity=len(requests) + 1, on_shed=lambda r: None)
+    queue = IngressQueue(
+        capacity=len(requests) + 1,
+        on_shed=lambda r: None,
+        brownout_thresholds=None,
+    )
     batcher = MicroBatcher(queue, batches.append, max_batch_size=max_batch_size)
     for request in requests:
         queue.put(request, block=False)
@@ -130,3 +151,97 @@ def test_every_dispatched_batch_bills_exactly_one_share_per_member(specs, max_ba
         assert abs(
             sum(item.work for item in result.per_instance) - result.cost.work
         ) <= len(batch.requests)
+
+
+# ----------------------------------------------------------------------
+# Queue ordering contracts (EDF claim order + pinned shed order)
+# ----------------------------------------------------------------------
+
+#: (priority, deadline slot) — slot None = deadline-less, else an absolute
+#: deadline offset; duplicates exercise the insertion-order tiebreak.
+_ordering_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=-2, max_value=2),
+        st.sampled_from([None, 100.0, 200.0, 300.0]),
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+_FAKE_NOW = 50.0  # fake clock instant; every finite deadline above is live
+
+
+def _queued(specs, capacity):
+    """Build a brown-out-free fake-clock queue holding one request per spec,
+    with deterministic deadlines (request ids encode insertion order)."""
+    queue = IngressQueue(
+        capacity=capacity,
+        on_shed=lambda r: None,
+        brownout_thresholds=None,
+        clock=lambda: _FAKE_NOW,
+    )
+    requests = []
+    for priority, deadline in specs:
+        request = SolveRequest.make(
+            _FUNCTION, _LABELS, algorithm="jaja-ryu", audit=True, priority=priority
+        )
+        request.deadline = deadline
+        requests.append(request)
+        queue.put(request, block=False)
+    return queue, requests
+
+
+def _claim_key(request):
+    deadline = math.inf if request.deadline is None else request.deadline
+    return (-request.priority, deadline, request.request_id)
+
+
+def _shed_contract_key(request):
+    slack = math.inf if request.deadline is None else request.deadline
+    return (request.priority, -slack, request.request_id)
+
+
+@settings(max_examples=80, deadline=None)
+@given(specs=_ordering_specs)
+def test_queue_claims_in_priority_then_edf_then_insertion_order(specs):
+    """Claim contract: take() drains priority descending, earliest deadline
+    first within a class, insertion order on exact ties."""
+    queue, requests = _queued(specs, capacity=len(specs))
+    key = requests[0].compat_key
+    claimed = queue.take(key, len(requests))
+    assert [r.request_id for r in claimed] == [
+        r.request_id for r in sorted(requests, key=_claim_key)
+    ]
+
+
+@settings(max_examples=80, deadline=None)
+@given(specs=_ordering_specs, extra_priority=st.integers(min_value=-2, max_value=3))
+def test_full_queue_displacement_follows_pinned_shed_order(specs, extra_priority):
+    """Shed contract: when a full queue admits a strictly-higher-priority
+    request, the displaced victim is the minimum under
+    (priority asc, slack desc, insertion order) — and equal-priority
+    arrivals never displace (they get plain backpressure)."""
+    from repro.errors import QueueFullError
+
+    shed = []
+    queue, requests = _queued(specs, capacity=len(specs))
+    queue._on_shed = shed.append
+    incoming = SolveRequest.make(
+        _FUNCTION, _LABELS, algorithm="jaja-ryu", audit=True, priority=extra_priority
+    )
+    lowest = min(r.priority for r in requests)
+    if extra_priority > lowest:
+        queue.put(incoming, block=False)
+        assert len(shed) == 1
+        expected_victim = min(requests, key=_shed_contract_key)
+        assert shed[0].request_id == expected_victim.request_id
+        assert queue.shed_count == 1
+    else:
+        try:
+            queue.put(incoming, block=False)
+        except QueueFullError:
+            pass
+        else:
+            raise AssertionError("equal/lower-priority put must not displace")
+        assert shed == []
+        assert queue.rejected_count == 1

@@ -675,6 +675,126 @@ def test_replica_set_survives_forced_ejection_with_zero_lost_or_double_billed(tr
     assert ejected_row["ejected"] and ejected_row["inflight"] == 0
 
 
+def test_replica_set_survives_forced_scale_down_mid_load(transport):
+    """Acceptance: a forced scale-down mid-load drains the victim instead
+    of dropping it — every request is answered exactly once with a correct
+    partition, and the retired slot ends as an empty tombstone."""
+    total = 30
+    stream = generate_requests(total, 192, seed=29)
+    replica_set = ReplicaSet(3, workers=1, max_batch_delay=0.001)
+    answered, errors = [], []
+    try:
+        with transport.serve(replica_set) as url:
+            gate = threading.Semaphore(6)
+
+            def fire(item):
+                f, b, audit = item
+                with gate:
+                    try:
+                        with transport.client(url) as client:
+                            answered.append((f, b, client.solve(f, b, audit=audit)))
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+            threads = [threading.Thread(target=fire, args=(item,)) for item in stream]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.08)  # mid-load...
+            victim = replica_set.scale_down()  # ...retire the youngest replica
+            assert victim == 2
+            for thread in threads:
+                thread.join(timeout=180)
+            assert not any(t.is_alive() for t in threads)
+
+            with transport.client(url) as admin:
+                # the tombstone drains in the background; wait it out
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    row = next(
+                        r for r in admin.replicas() if r["replica"] == victim
+                    )
+                    if row["inflight"] == 0:
+                        break
+                    time.sleep(0.02)
+                replicas_after = admin.replicas()
+                aggregate = admin.metrics()["metrics"]
+    finally:
+        replica_set.shutdown()
+
+    assert not errors
+    # zero lost: every request answered exactly once, with a correct answer
+    assert len(answered) == total
+    assert all(r.status is JobStatus.DONE for _, _, r in answered)
+    assert len({r.request_id for _, _, r in answered}) == total
+    for f, b, response in answered:
+        assert same_partition(response.labels, coarsest_partition(f, b).labels)
+    # zero double-billed: the aggregate ledger (which keeps the retired
+    # replica's frozen counters on the books) saw each request once
+    assert aggregate["submitted"] == total
+    assert aggregate["completed"] == total
+    assert aggregate["failed"] == 0 and aggregate["shed"] == 0
+    # the victim is a drained tombstone, out of placement for good
+    victim_row = next(r for r in replicas_after if r["replica"] == victim)
+    assert victim_row["retired"] and victim_row["inflight"] == 0
+    active = [
+        r for r in replicas_after
+        if not r.get("retired") and not r.get("ejected")
+    ]
+    assert len(active) == 2
+
+
+def test_replica_set_survives_scale_up_mid_load(transport):
+    """Acceptance: growing the pool mid-load is invisible to clients —
+    no request is lost, double-billed, or answered wrongly while the new
+    replica enters placement."""
+    total = 30
+    stream = generate_requests(total, 192, seed=31)
+    replica_set = ReplicaSet(2, workers=1, max_batch_delay=0.001)
+    answered, errors = [], []
+    try:
+        with transport.serve(replica_set) as url:
+            gate = threading.Semaphore(6)
+
+            def fire(item):
+                f, b, audit = item
+                with gate:
+                    try:
+                        with transport.client(url) as client:
+                            answered.append((f, b, client.solve(f, b, audit=audit)))
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+            threads = [threading.Thread(target=fire, args=(item,)) for item in stream]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.08)  # mid-load...
+            new_id = replica_set.scale_up()  # ...grow the pool
+            assert new_id == 2
+            for thread in threads:
+                thread.join(timeout=180)
+            assert not any(t.is_alive() for t in threads)
+
+            with transport.client(url) as admin:
+                replicas_after = admin.replicas()
+                aggregate = admin.metrics()["metrics"]
+    finally:
+        replica_set.shutdown()
+
+    assert not errors
+    assert len(answered) == total
+    assert all(r.status is JobStatus.DONE for _, _, r in answered)
+    assert len({r.request_id for _, _, r in answered}) == total
+    for f, b, response in answered:
+        assert same_partition(response.labels, coarsest_partition(f, b).labels)
+    assert aggregate["submitted"] == total
+    assert aggregate["completed"] == total
+    assert aggregate["failed"] == 0 and aggregate["shed"] == 0
+    # the new replica is in placement and visible on the admin surface
+    new_row = next(r for r in replicas_after if r["replica"] == new_id)
+    assert not new_row["ejected"] and not new_row["retired"]
+    assert new_row["accepting"]
+
+
 def test_cli_connect_load_generator_verifies_over_the_wire(transport, tmp_path):
     """``repro-serve --connect URL`` is the CI smoke's wire load-gen: it
     must verify responses against direct solves and persist the *server's*
