@@ -10,6 +10,11 @@ recordable benchmark suite:
   ``BENCH_E*.json`` artifacts (see :mod:`repro.bench.artifacts`).
 * ``python -m repro.bench`` — the CLI front end
   (:mod:`repro.bench.cli`).
+* :class:`~repro.bench.runs.RunRegistry` — named runs
+  (``--run-name``): per-run result directories with a config +
+  git-state manifest, an ordered run index (``BENCH_RUNS/``), and a
+  trend checker (``python -m repro.bench.runs check``) that exits
+  non-zero on throughput/latency regressions beyond a tolerance.
 
 Both the pytest files under ``benchmarks/`` and the CLI run through
 :class:`BenchmarkRunner`, so printed tables and persisted JSON always come
@@ -29,6 +34,19 @@ from .config import SweepConfig
 from .registry import REGISTRY, ExperimentSpec, experiment_ids, get_experiment
 from .runner import BenchmarkRunner, CellResult, ExperimentResult
 
+# The runs surface is exported lazily (PEP 562): importing it eagerly
+# would shadow ``python -m repro.bench.runs`` with a second module copy
+# (runpy's "found in sys.modules" warning).
+_RUNS_EXPORTS = ("RunRegistry", "TrendReport", "check_trend", "git_state", "load_run")
+
+
+def __getattr__(name):
+    if name in _RUNS_EXPORTS:
+        from . import runs
+
+        return getattr(runs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "SweepConfig",
     "BenchmarkRunner",
@@ -45,4 +63,9 @@ __all__ = [
     "write_artifact",
     "load_artifact",
     "validate_artifact",
+    "RunRegistry",
+    "TrendReport",
+    "check_trend",
+    "git_state",
+    "load_run",
 ]

@@ -1,0 +1,509 @@
+"""Named benchmark runs: per-run result directories, manifests, trends.
+
+The artifact layer (:mod:`repro.bench.artifacts`) records *what* a run
+measured; this module records *that a run happened* and under which
+conditions, so the repository can keep an ordered history of named runs
+(``BENCH_RUNS/``) and gate changes on it:
+
+* :class:`RunRegistry` — owns a runs directory.  Each named run gets its
+  own sub-directory holding the ``BENCH_E*.json`` artifacts it produced
+  plus a ``manifest.json`` (schema ``repro.bench.run``) capturing the
+  sweep configuration and the git state (commit, branch, dirty) of the
+  working tree.  ``index.json`` (schema ``repro.bench.runs``) lists runs
+  oldest-first; re-running a name overwrites its directory and moves its
+  entry to the end.
+* :func:`check_trend` — compares the host-measured metrics of a
+  candidate run against a baseline run row-by-row and reports
+  regressions beyond a tolerance.  Charged PRAM totals are *exact* and
+  policed by ``--check-against``; trends police the *volatile* columns
+  (throughput, p99, wall) that drift with real perf changes.
+* ``python -m repro.bench.runs check`` — standalone checker CLI for CI:
+  exit code 4 on a trend regression, so a gate can distinguish "slower"
+  from "broken".
+
+Rows are matched on a whitelist of configuration-like columns
+(:data:`TREND_IDENTITY_KEYS`) rather than the artifact layer's
+"everything non-volatile" identity, because serving rows carry
+timing-dependent columns (batch counts, occupancy) that would otherwise
+make two honest runs of the same config unmatchable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .artifacts import load_artifact, write_artifact
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_VERSION",
+    "INDEX_SCHEMA",
+    "INDEX_SCHEMA_VERSION",
+    "TREND_IDENTITY_KEYS",
+    "TREND_HIGHER_BETTER",
+    "TREND_LOWER_BETTER",
+    "WALL_FLOOR_SECONDS",
+    "EXIT_TREND_REGRESSION",
+    "RunRegistry",
+    "TrendReport",
+    "git_state",
+    "check_trend",
+    "load_run",
+    "main",
+]
+
+#: Per-run ``manifest.json`` document format.
+MANIFEST_SCHEMA = "repro.bench.run"
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Runs-directory ``index.json`` document format.
+INDEX_SCHEMA = "repro.bench.runs"
+INDEX_SCHEMA_VERSION = 1
+
+#: Configuration-like row columns runs are matched on for trend checks.
+#: Deliberately a whitelist: result rows also carry timing-dependent
+#: descriptive columns (``batches``, ``max_occupancy``) that must not
+#: participate in identity.
+TREND_IDENTITY_KEYS = (
+    "n",
+    "transport",
+    "replica_mode",
+    "chaos_proxy",
+    "workers",
+    "requests",
+    "algorithm",
+    "replicas",
+    "offered_rps",
+    "size",
+)
+
+#: Row metrics where a *smaller* candidate value is a regression.
+TREND_HIGHER_BETTER = ("throughput_rps", "achieved_rps")
+
+#: Row metrics where a *larger* candidate value is a regression.
+TREND_LOWER_BETTER = ("p99_ms", "wall_seconds", "ns_per_node")
+
+#: Cell wall-clock below this is scheduler noise, not signal — skip it.
+WALL_FLOOR_SECONDS = 0.5
+
+#: Checker process exit code for a trend regression (0 = ok, 2 = usage).
+EXIT_TREND_REGRESSION = 4
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def _git(args: Sequence[str], cwd: Optional[str]) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            timeout=10,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.decode("utf-8", "replace").strip()
+
+
+def git_state(repo_dir: Optional[str] = None) -> Dict[str, object]:
+    """Best-effort git provenance: ``{"commit", "branch", "dirty"}``.
+
+    Tolerant by design — a missing git binary or a non-repo directory
+    yields ``"unknown"`` / ``None`` fields rather than an error, so a
+    benchmark run never fails because of where it was launched from.
+    """
+    commit = _git(["rev-parse", "HEAD"], repo_dir)
+    branch = _git(["rev-parse", "--abbrev-ref", "HEAD"], repo_dir)
+    status = _git(["status", "--porcelain"], repo_dir)
+    return {
+        "commit": commit or "unknown",
+        "branch": branch or "unknown",
+        "dirty": None if status is None else bool(status),
+    }
+
+
+class RunRegistry:
+    """Owns a runs directory (``BENCH_RUNS/`` by convention).
+
+    Layout::
+
+        <runs_dir>/index.json            # ordered run history
+        <runs_dir>/<name>/manifest.json  # config + git provenance
+        <runs_dir>/<name>/BENCH_*.json   # the run's artifacts
+
+    The usual flow is :meth:`prepare` (claims the run directory —
+    re-running a name wipes its previous contents), writing artifacts
+    into it, then :meth:`finalize` (manifest + index entry).
+    :meth:`record` bundles all three for callers that already hold
+    built artifact documents.
+    """
+
+    def __init__(self, runs_dir: str) -> None:
+        self.runs_dir = runs_dir
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.runs_dir, "index.json")
+
+    def run_dir(self, name: str) -> str:
+        self._validate_name(name)
+        return os.path.join(self.runs_dir, name)
+
+    def manifest_path(self, name: str) -> str:
+        return os.path.join(self.run_dir(name), "manifest.json")
+
+    @staticmethod
+    def _validate_name(name: str) -> None:
+        if not _NAME_RE.match(name or ""):
+            raise ValueError(
+                f"bad run name {name!r}: use letters, digits, '.', '_', '-' "
+                "(must start with a letter or digit)"
+            )
+
+    # -- index ----------------------------------------------------------
+    def load_index(self) -> Dict[str, object]:
+        """The index document (a fresh empty one if none exists yet)."""
+        if not os.path.exists(self.index_path):
+            return {
+                "schema": INDEX_SCHEMA,
+                "schema_version": INDEX_SCHEMA_VERSION,
+                "runs": [],
+            }
+        with open(self.index_path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+        if document.get("schema") != INDEX_SCHEMA:
+            raise ValueError(
+                f"{self.index_path}: not a {INDEX_SCHEMA} index "
+                f"(schema={document.get('schema')!r})"
+            )
+        version = document.get("schema_version")
+        if not isinstance(version, int) or not 1 <= version <= INDEX_SCHEMA_VERSION:
+            raise ValueError(
+                f"{self.index_path}: unsupported schema_version {version!r}"
+            )
+        if not isinstance(document.get("runs"), list):
+            raise ValueError(f"{self.index_path}: 'runs' must be a list")
+        return document
+
+    def run_names(self) -> List[str]:
+        """Run names oldest-first (the trend baseline is the last one)."""
+        return [str(entry["name"]) for entry in self.load_index()["runs"]]
+
+    def latest_run(self, *, excluding: Optional[str] = None) -> Optional[str]:
+        """Newest recorded run name, optionally skipping one (the
+        candidate itself, when it is already in the index)."""
+        for name in reversed(self.run_names()):
+            if name != excluding:
+                return name
+        return None
+
+    # -- recording ------------------------------------------------------
+    def prepare(self, name: str) -> str:
+        """Claim (and empty) the run directory for ``name``; returns it."""
+        path = self.run_dir(name)
+        if os.path.exists(path):
+            shutil.rmtree(path)
+        os.makedirs(path)
+        return path
+
+    def finalize(
+        self,
+        name: str,
+        *,
+        config: Mapping[str, object],
+        artifacts: Sequence[str],
+    ) -> Dict[str, object]:
+        """Write the manifest and (re-)index the run; returns the manifest.
+
+        ``artifacts`` are file names relative to the run directory; every
+        one must already exist there.
+        """
+        run_dir = self.run_dir(name)
+        missing = [a for a in artifacts if not os.path.exists(os.path.join(run_dir, a))]
+        if missing:
+            raise ValueError(f"run {name!r} is missing artifacts: {missing}")
+        manifest: Dict[str, object] = {
+            "schema": MANIFEST_SCHEMA,
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "name": name,
+            "created_utc": _utc_now(),
+            "config": dict(config),
+            "git": git_state(),
+            "artifacts": sorted(artifacts),
+        }
+        with open(self.manifest_path(name), "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2)
+            fh.write("\n")
+        index = self.load_index()
+        runs = [e for e in index["runs"] if e.get("name") != name]  # type: ignore[union-attr]
+        runs.append({"name": name, "created_utc": manifest["created_utc"]})
+        index["runs"] = runs
+        os.makedirs(self.runs_dir, exist_ok=True)
+        with open(self.index_path, "w", encoding="utf-8") as fh:
+            json.dump(index, fh, indent=2)
+            fh.write("\n")
+        return manifest
+
+    def record(
+        self,
+        name: str,
+        *,
+        artifacts: Sequence[Mapping[str, object]],
+        config: Mapping[str, object],
+    ) -> Dict[str, object]:
+        """Prepare + persist artifact documents + finalize, in one call."""
+        run_dir = self.prepare(name)
+        names = [os.path.basename(write_artifact(doc, run_dir)) for doc in artifacts]
+        return self.finalize(name, config=config, artifacts=names)
+
+
+def load_run(run_dir: str) -> Dict[str, object]:
+    """Load a run directory: ``{"manifest": ..., "artifacts": {name: doc}}``."""
+    manifest_path = os.path.join(run_dir, "manifest.json")
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"{manifest_path}: not a {MANIFEST_SCHEMA} manifest "
+            f"(schema={manifest.get('schema')!r})"
+        )
+    version = manifest.get("schema_version")
+    if not isinstance(version, int) or not 1 <= version <= MANIFEST_SCHEMA_VERSION:
+        raise ValueError(f"{manifest_path}: unsupported schema_version {version!r}")
+    artifacts: Dict[str, Dict[str, object]] = {}
+    for name in manifest.get("artifacts", []):
+        artifacts[str(name)] = load_artifact(os.path.join(run_dir, str(name)))
+    return {"manifest": manifest, "artifacts": artifacts}
+
+
+# ----------------------------------------------------------------------
+# trend comparison
+# ----------------------------------------------------------------------
+@dataclass
+class TrendReport:
+    """Outcome of one candidate-vs-baseline trend comparison."""
+
+    baseline: str
+    candidate: str
+    regressions: List[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _trend_identity(row: Mapping[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple((k, str(row[k])) for k in TREND_IDENTITY_KEYS if k in row)
+
+
+def _rows_by_identity(
+    document: Mapping[str, object]
+) -> Dict[Tuple[Tuple[str, str], ...], List[Mapping[str, object]]]:
+    grouped: Dict[Tuple[Tuple[str, str], ...], List[Mapping[str, object]]] = {}
+    for cell in document["cells"]:  # type: ignore[union-attr]
+        for row in cell["rows"]:
+            grouped.setdefault(_trend_identity(row), []).append(row)
+    return grouped
+
+
+def _numeric(value: object) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def check_trend(
+    candidate: Mapping[str, object],
+    baseline: Mapping[str, object],
+    *,
+    tolerance: float = 0.5,
+) -> TrendReport:
+    """Compare a candidate run against a baseline run for perf regressions.
+
+    Both arguments are loaded runs (see :func:`load_run`).  Only
+    artifacts present in *both* runs are compared; within them, rows are
+    matched on :data:`TREND_IDENTITY_KEYS` and the volatile metrics are
+    ratio-checked: a higher-is-better metric regresses when the
+    candidate falls below ``baseline / (1 + tolerance)``, a
+    lower-is-better metric regresses when the candidate exceeds
+    ``baseline * (1 + tolerance)``.  ``wall_seconds`` is only compared
+    when the baseline is at least :data:`WALL_FLOOR_SECONDS` — below
+    that, host scheduling noise dominates the signal.  Improvements are
+    never flagged.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    report = TrendReport(
+        baseline=str(baseline["manifest"]["name"]),  # type: ignore[index]
+        candidate=str(candidate["manifest"]["name"]),  # type: ignore[index]
+    )
+    cand_artifacts = candidate["artifacts"]  # type: ignore[index]
+    base_artifacts = baseline["artifacts"]  # type: ignore[index]
+    for filename in sorted(cand_artifacts):
+        if filename not in base_artifacts:
+            continue
+        cand_rows = _rows_by_identity(cand_artifacts[filename])
+        base_rows = _rows_by_identity(base_artifacts[filename])
+        for identity, rows in sorted(cand_rows.items()):
+            matches = base_rows.get(identity)
+            if not matches:
+                continue
+            for row, base_row in zip(rows, matches):
+                report.compared += 1
+                label = f"{filename} {dict(identity)}"
+                for key in TREND_HIGHER_BETTER:
+                    fresh, old = _numeric(row.get(key)), _numeric(base_row.get(key))
+                    if fresh is None or old is None or old <= 0:
+                        continue
+                    if fresh < old / (1.0 + tolerance):
+                        report.regressions.append(
+                            f"{label}: {key} regressed {old:.4g} -> {fresh:.4g} "
+                            f"(beyond tolerance {tolerance:g})"
+                        )
+                for key in TREND_LOWER_BETTER:
+                    fresh, old = _numeric(row.get(key)), _numeric(base_row.get(key))
+                    if fresh is None or old is None or old <= 0:
+                        continue
+                    if key == "wall_seconds" and old < WALL_FLOOR_SECONDS:
+                        continue
+                    if fresh > old * (1.0 + tolerance):
+                        report.regressions.append(
+                            f"{label}: {key} regressed {old:.4g} -> {fresh:.4g} "
+                            f"(beyond tolerance {tolerance:g})"
+                        )
+        # cell-level wall clock, matched on config fingerprint
+        base_cells = {
+            cell["fingerprint"]: cell
+            for cell in base_artifacts[filename]["cells"]
+        }
+        for cell in cand_artifacts[filename]["cells"]:
+            match = base_cells.get(cell["fingerprint"])
+            if match is None:
+                continue
+            fresh = _numeric(cell.get("wall_seconds"))
+            old = _numeric(match.get("wall_seconds"))
+            if fresh is None or old is None or old < WALL_FLOOR_SECONDS:
+                continue
+            report.compared += 1
+            if fresh > old * (1.0 + tolerance):
+                report.regressions.append(
+                    f"{filename} cell {cell['fingerprint']}: wall_seconds "
+                    f"regressed {old:.4g} -> {fresh:.4g} "
+                    f"(beyond tolerance {tolerance:g})"
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# standalone checker CLI: python -m repro.bench.runs
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.runs",
+        description="Inspect and trend-check the named benchmark run history.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    listing = sub.add_parser("list", help="list recorded runs, oldest first")
+    listing.add_argument("--runs-dir", default="BENCH_RUNS")
+    check = sub.add_parser(
+        "check",
+        help="compare a candidate run against the run history; "
+        f"exit {EXIT_TREND_REGRESSION} on a regression beyond tolerance",
+    )
+    check.add_argument("--runs-dir", default="BENCH_RUNS")
+    check.add_argument(
+        "--candidate", required=True, metavar="NAME",
+        help="name of the candidate run",
+    )
+    check.add_argument(
+        "--candidate-dir", default=None, metavar="DIR",
+        help="load the candidate from DIR instead of <runs-dir>/<name> "
+        "(lets CI check an uncommitted or tampered copy)",
+    )
+    check.add_argument(
+        "--baseline", default=None, metavar="NAME",
+        help="baseline run name (default: newest run in the index other "
+        "than the candidate)",
+    )
+    check.add_argument(
+        "--tolerance", type=float, default=0.5, metavar="F",
+        help="allowed fractional degradation before a metric counts as a "
+        "regression (default 0.5 = 50%%)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    registry = RunRegistry(args.runs_dir)
+    if args.command == "list":
+        for entry in registry.load_index()["runs"]:  # type: ignore[union-attr]
+            print(f"{entry.get('created_utc', '?'):>20}  {entry.get('name')}")
+        return 0
+
+    # command == "check"
+    candidate_dir = args.candidate_dir or registry.run_dir(args.candidate)
+    try:
+        candidate = load_run(candidate_dir)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"error: cannot load candidate run: {err}", file=sys.stderr)
+        return 2
+    baseline_name = args.baseline or registry.latest_run(excluding=args.candidate)
+    if baseline_name is None:
+        print(
+            f"[repro.bench.runs] no baseline run in {args.runs_dir!r}; "
+            "nothing to compare (first run passes)"
+        )
+        return 0
+    try:
+        baseline = load_run(registry.run_dir(baseline_name))
+    except (OSError, ValueError, KeyError) as err:
+        print(f"error: cannot load baseline run {baseline_name!r}: {err}", file=sys.stderr)
+        return 2
+    try:
+        report = check_trend(candidate, baseline, tolerance=args.tolerance)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if report.compared == 0:
+        print(
+            f"error: no comparable rows between candidate "
+            f"{report.candidate!r} and baseline {report.baseline!r}",
+            file=sys.stderr,
+        )
+        return 2
+    for problem in report.regressions:
+        print(f"regression: {problem}", file=sys.stderr)
+    if report.regressions:
+        print(
+            f"error: {len(report.regressions)} trend regression(s) vs baseline "
+            f"run {report.baseline!r} (tolerance {args.tolerance:g})",
+            file=sys.stderr,
+        )
+        return EXIT_TREND_REGRESSION
+    print(
+        f"[repro.bench.runs] trend ok: {report.compared} comparisons vs "
+        f"baseline {report.baseline!r} within tolerance {args.tolerance:g}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

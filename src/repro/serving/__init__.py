@@ -85,7 +85,13 @@ self-contained load-generator demo and prints the metrics table;
 ``repro-serve --connect URL`` drives a running server over the wire.
 """
 
-from .autoscale import AutoscalingPolicy, PoolController, PoolSignals, ScaleDecision
+from .autoscale import (
+    AutoscalingPolicy,
+    CapacityModel,
+    PoolController,
+    PoolSignals,
+    ScaleDecision,
+)
 from .batcher import Batch, BatcherStats, MicroBatcher
 from .chaos import FAULT_KINDS, ChaosSchedule, ChaosTcpProxy
 from .events import EventRecorder
@@ -145,6 +151,7 @@ __all__ = [
     "GrayFailureDetector",
     "EventRecorder",
     "AutoscalingPolicy",
+    "CapacityModel",
     "PoolController",
     "PoolSignals",
     "ScaleDecision",

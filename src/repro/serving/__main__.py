@@ -158,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="--replicas auto: pool-controller tick period (default 0.25)",
     )
     net.add_argument(
+        "--capacity-model", default=None, metavar="PATH",
+        help="--replicas auto: load the measured capacity model (the "
+             "capacity_model section of a BENCH_SERVING.json) and scale "
+             "feed-forward from the arrival rate, reconciled with the "
+             "reactive signals; omit for pure reactive scaling",
+    )
+    net.add_argument(
         "--processes", action="store_true",
         help="run each replica as its own supervised OS process "
              "(crash-restarted, jobs re-homed) instead of in-process",
@@ -246,6 +253,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-shed-fraction", type=float, default=0.05, metavar="F",
         help="--sweep: shed fraction above which a cell is past the knee "
              "(default 0.05)",
+    )
+    gen.add_argument(
+        "--step", action="store_true",
+        help="--loadgen: step-load A/B — offer --rate for half of "
+             "--duration, double it for the second half, and compare the "
+             "predictive (capacity-model) controller against the pure "
+             "reactive one (time to target pool, sheds in the transient)",
+    )
+    gen.add_argument(
+        "--step-factor", type=float, default=2.0, metavar="F",
+        help="--step: multiply the offered rate by F mid-run (default 2.0)",
     )
     gen.add_argument(
         "--bench-out", default=None, metavar="PATH",
@@ -369,7 +387,7 @@ def serve_http(args, say) -> int:
     controller = None
     scale_recorder = None
     if auto_scale:
-        from .autoscale import AutoscalingPolicy, PoolController
+        from .autoscale import AutoscalingPolicy, CapacityModel, PoolController
         from .events import EventRecorder
 
         max_replicas = args.max_replicas
@@ -381,6 +399,15 @@ def serve_http(args, say) -> int:
             max_replicas=max(1, max_replicas),
             slo_p99_ms=args.slo_p99_ms,
         )
+        capacity_model = None
+        if args.capacity_model:
+            capacity_model = CapacityModel.load(args.capacity_model)
+            knees = ", ".join(
+                f"{r}->{knee:g}rps" for r, knee in capacity_model.knees
+            )
+            say(f"[repro.serving] capacity model from {args.capacity_model}: "
+                f"{knees} (feed-forward at headroom "
+                f"{policy.prediction_headroom:g})")
         recorder = getattr(backend, "recorder", None)
         if recorder is None:
             # A plain in-process ReplicaSet has no lifecycle log of its
@@ -390,12 +417,14 @@ def serve_http(args, say) -> int:
             scale_recorder.open()
             recorder = scale_recorder
         controller = PoolController(
-            backend, policy, recorder=recorder, interval=args.scale_interval
+            backend, policy, capacity_model=capacity_model,
+            recorder=recorder, interval=args.scale_interval,
         ).start()
         say(f"[repro.serving] pool controller: {policy.min_replicas}.."
             f"{policy.max_replicas} replicas, tick {args.scale_interval:g}s"
             + (f", SLO p99 {policy.slo_p99_ms:g}ms"
-               if policy.slo_p99_ms else ""))
+               if policy.slo_p99_ms else "")
+            + (", predictive" if capacity_model is not None else ", reactive"))
     # The fleet authenticates *outbound* to the remote hosts; the local
     # front stays open (HTTP + framed) for healthz/metrics/load-gen.  An
     # auth-requiring framed server is the --replica-worker mode.
@@ -543,6 +572,8 @@ def run_loadgen(args, say) -> int:
     def _csv(text, cast):
         return [cast(x) for x in str(text).split(",") if x.strip()]
 
+    if args.step:
+        return run_step(args, say)
     if args.sweep:
         model = run_capacity_sweep(
             replica_counts=_csv(args.sweep_replicas, int),
@@ -616,6 +647,80 @@ def run_loadgen(args, say) -> int:
     if lost:
         print(f"[repro.serving] FAILURE: {lost} admitted job(s) never "
               "settled (overload must shed, not lose)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_step(args, say) -> int:
+    """``--loadgen --step``: the predictive-vs-reactive step-load A/B.
+
+    Offers ``--rate`` for half of ``--duration``, steps to
+    ``--rate * --step-factor`` for the second half, once per controller
+    mode, and writes the comparison as the ``step_load`` section of
+    ``--bench-out`` (merged, like the capacity model).
+    """
+    from .autoscale import CapacityModel
+    from .bench import run_step_comparison
+
+    model_path = args.capacity_model
+    if model_path is None and args.bench_out and os.path.exists(args.bench_out):
+        model_path = args.bench_out
+    if model_path is None and os.path.exists("BENCH_SERVING.json"):
+        model_path = "BENCH_SERVING.json"
+    if model_path is None:
+        print("[repro.serving] --step needs a measured capacity model "
+              "(--capacity-model PATH, or a BENCH_SERVING.json with a "
+              "capacity_model section)", file=sys.stderr)
+        return 2
+    model = CapacityModel.load(model_path)
+    say(f"[repro.serving] step-load A/B: {args.rate:g} rps "
+        f"-> x{args.step_factor:g} mid-run, capacity model {model_path}")
+    document = run_step_comparison(
+        capacity_model=model,
+        base_rps=args.rate,
+        step_factor=args.step_factor,
+        duration=args.duration,
+        size=args.size,
+        seed=args.seed,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        min_replicas=max(1, args.min_replicas),
+        max_replicas=max(1, args.max_replicas),
+        progress=say,
+    )
+    rows = [
+        {k: v for k, v in row.items() if k != "pool_timeline"}
+        for row in document["rows"]
+    ]
+    say("")
+    say(render_table(rows, title="step-load A/B (reactive vs predictive)"))
+    lost = sum(int(row["lost"]) for row in document["rows"])
+
+    if args.bench_out:
+        merged = {}
+        if os.path.exists(args.bench_out):
+            try:
+                with open(args.bench_out, "r", encoding="utf-8") as fh:
+                    existing = json.load(fh)
+            except (OSError, ValueError):
+                existing = None
+            if isinstance(existing, dict):
+                merged = dict(existing)
+        merged.setdefault("schema", f"{METRICS_SCHEMA}.capacity")
+        merged.setdefault("schema_version", METRICS_SCHEMA_VERSION)
+        merged["step_load"] = document
+        out_dir = os.path.dirname(args.bench_out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh, indent=2)
+            fh.write("\n")
+        say(f"[repro.serving] wrote {args.bench_out}")
+
+    if lost:
+        print(f"[repro.serving] FAILURE: {lost} admitted job(s) never "
+              "settled during the step (overload must shed, not lose)",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -710,6 +710,275 @@ def run_capacity_sweep(
     }
 
 
+def run_step_load(
+    *,
+    mode: str = "predictive",
+    capacity_model=None,
+    base_rps: float = 120.0,
+    step_factor: float = 2.0,
+    duration: float = 6.0,
+    size: int = 256,
+    seed: int = 0,
+    workers: int = 2,
+    max_batch_size: int = 32,
+    max_batch_delay: float = 0.002,
+    queue_capacity: int = 48,
+    min_replicas: int = 1,
+    max_replicas: int = 4,
+    tick_interval: float = 0.05,
+    hysteresis_ticks: int = 3,
+    cooldown_seconds: float = 0.25,
+    algorithm: str = "jaja-ryu",
+    priority_mix: bool = True,
+    drain_timeout: float = 60.0,
+) -> Dict[str, object]:
+    """One step-load run: offer ``base_rps`` for half of ``duration``,
+    then step to ``base_rps * step_factor`` for the second half, against
+    a self-scaling :class:`~repro.serving.replicas.ReplicaSet`.
+
+    ``mode`` selects the controller under test: ``"predictive"`` wires
+    the committed :class:`~repro.serving.autoscale.CapacityModel` into
+    the :class:`~repro.serving.autoscale.PoolController` (feed-forward +
+    reactive), ``"reactive"`` runs the same policy with no model — the
+    PR 9 controller.  Both modes report when the pool first reached the
+    *model's* target for the stepped rate, so the A/B measures how much
+    earlier feed-forward gets there, and how many requests were shed at
+    the door during the transient.  The overload-survival contract holds
+    throughout: every admitted request settles (``lost`` must be 0).
+    """
+    from .autoscale import AutoscalingPolicy, PoolController
+    from .events import EventRecorder
+    from .replicas import ReplicaSet
+
+    if mode not in ("predictive", "reactive"):
+        raise ValueError(f"mode must be 'predictive' or 'reactive', got {mode!r}")
+    if capacity_model is None:
+        raise ValueError("run_step_load needs the measured capacity model "
+                         "(for the controller in predictive mode, and for "
+                         "the A/B's common target pool in both)")
+    step_rps = float(base_rps) * float(step_factor)
+    headroom = AutoscalingPolicy().prediction_headroom
+    target_pool = min(
+        max_replicas, max(min_replicas, capacity_model.pool_for_rate(step_rps, headroom))
+    )
+
+    backend = ReplicaSet(
+        min_replicas,
+        seed=seed,
+        workers=workers,
+        max_batch_size=max_batch_size,
+        max_batch_delay=max_batch_delay,
+        queue_capacity=queue_capacity,
+        default_algorithm=algorithm,
+    )
+    recorder = EventRecorder()
+    policy = AutoscalingPolicy(
+        min_replicas=min_replicas,
+        max_replicas=max_replicas,
+        hysteresis_ticks=hysteresis_ticks,
+        cooldown_seconds=cooldown_seconds,
+    )
+    controller = PoolController(
+        backend,
+        policy,
+        capacity_model=capacity_model if mode == "predictive" else None,
+        recorder=recorder,
+        interval=tick_interval,
+    )
+
+    phases = [(float(base_rps), duration / 2.0), (step_rps, duration / 2.0)]
+    total = sum(max(1, int(round(rate * secs))) for rate, secs in phases)
+    distinct = min(total, 24)
+    instances = generate_requests(distinct, size, seed=seed, audit_mix=False)
+
+    lock = threading.Lock()
+    settled = [0]
+    failed = [0]
+    phase_latencies: List[List[float]] = [[], []]
+    phase_stats = [
+        {"offered": 0, "admitted": 0, "rejected": 0} for _ in phases
+    ]
+    admitted = 0
+
+    # Pool-size timeline: (seconds since load start, active replicas) on
+    # every change, sampled off-thread so the arrival loop never blocks.
+    timeline: List[List[float]] = []
+    sampler_stop = threading.Event()
+    load_start = [0.0]
+
+    def _sample_pool() -> None:
+        last = None
+        while not sampler_stop.is_set():
+            active = int(backend.active_replicas)
+            if active != last:
+                timeline.append(
+                    [round(time.perf_counter() - load_start[0], 3), active]
+                )
+                last = active
+            sampler_stop.wait(tick_interval / 2.0)
+
+    sampler = threading.Thread(target=_sample_pool, daemon=True)
+    try:
+        controller.start()
+        start = time.perf_counter()
+        load_start[0] = start
+        sampler.start()
+        sent = 0
+        step_at = None
+        for phase_index, (rate, secs) in enumerate(phases):
+            phase_start = time.perf_counter()
+            if phase_index == 1:
+                step_at = phase_start - start
+            count = max(1, int(round(rate * secs)))
+            interval = 1.0 / rate
+            stats = phase_stats[phase_index]
+            latencies = phase_latencies[phase_index]
+            for i in range(count):
+                target = phase_start + i * interval
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                f, b, _ = instances[sent % distinct]
+                priority = OPEN_LOOP_PRIORITIES[sent % len(OPEN_LOOP_PRIORITIES)] \
+                    if priority_mix else 0
+                sent += 1
+                stats["offered"] += 1
+                request = SolveRequest.make(
+                    f, b, algorithm=algorithm, audit=False, priority=priority
+                )
+                sent_at = time.perf_counter()
+                try:
+                    backend.submit_request(request, block=False)
+                except (QueueFullError, ServiceError):
+                    stats["rejected"] += 1
+                    continue
+                stats["admitted"] += 1
+                admitted += 1
+
+                def _settle(response: SolveResponse, sent_at=sent_at,
+                            latencies=latencies) -> None:
+                    with lock:
+                        settled[0] += 1
+                        if response.status is JobStatus.DONE:
+                            latencies.append(time.perf_counter() - sent_at)
+                        else:
+                            failed[0] += 1
+
+                backend.on_response(request.request_id, _settle)
+        offered_wall = time.perf_counter() - start
+
+        deadline = time.monotonic() + drain_timeout
+        while time.monotonic() < deadline:
+            with lock:
+                if settled[0] >= admitted:
+                    break
+            time.sleep(0.01)
+        wall = time.perf_counter() - start
+    finally:
+        sampler_stop.set()
+        controller.stop()
+        backend.shutdown(drain=True)
+        sampler.join(timeout=5.0)
+
+    time_to_target = None
+    if step_at is not None:
+        for instant, active in timeline:
+            if active >= target_pool:
+                time_to_target = round(max(0.0, instant - step_at), 3)
+                break
+
+    def _pct(latencies: List[float], q: float) -> Optional[float]:
+        lat = sorted(latencies)
+        if not lat:
+            return None
+        return round(1e3 * lat[min(len(lat) - 1, int(q * len(lat)))], 2)
+
+    with lock:
+        num_failed = failed[0]
+        num_settled = settled[0]
+    ups = [e for e in recorder.events() if e["event"] == "scale_up"]
+    return {
+        "mode": mode,
+        "base_rps": round(float(base_rps), 1),
+        "step_rps": round(step_rps, 1),
+        "duration_s": round(float(duration), 2),
+        "requests": total,
+        "target_pool": target_pool,
+        "time_to_target_s": time_to_target,
+        "sheds_pre": phase_stats[0]["rejected"],
+        "sheds_post": phase_stats[1]["rejected"] + num_failed,
+        "admitted": admitted,
+        "lost": admitted - num_settled,
+        "final_pool": timeline[-1][1] if timeline else min_replicas,
+        "scale_ups": len(ups),
+        "p99_pre_ms": _pct(phase_latencies[0], 0.99),
+        "p99_post_ms": _pct(phase_latencies[1], 0.99),
+        "offered_wall_s": round(offered_wall, 3),
+        "wall_s": round(wall, 3),
+        "pool_timeline": timeline,
+    }
+
+
+def run_step_comparison(
+    *,
+    capacity_model,
+    base_rps: float = 120.0,
+    step_factor: float = 2.0,
+    duration: float = 6.0,
+    size: int = 256,
+    seed: int = 0,
+    workers: int = 2,
+    queue_capacity: int = 48,
+    min_replicas: int = 1,
+    max_replicas: int = 4,
+    progress=None,
+    **kwargs,
+) -> Dict[str, object]:
+    """The predictive-vs-reactive A/B under one step-load profile.
+
+    Runs :func:`run_step_load` once per controller mode (reactive first,
+    so the predictive run cannot benefit from a warmer host) and returns
+    a JSON-able document for the ``step_load`` section of
+    ``BENCH_SERVING.json``.
+    """
+    say = progress if progress is not None else (lambda *_: None)
+    rows = []
+    for mode in ("reactive", "predictive"):
+        say(f"[step] mode={mode} base={base_rps:g} rps x{step_factor:g} ...")
+        row = run_step_load(
+            mode=mode,
+            capacity_model=capacity_model,
+            base_rps=base_rps,
+            step_factor=step_factor,
+            duration=duration,
+            size=size,
+            seed=seed,
+            workers=workers,
+            queue_capacity=queue_capacity,
+            min_replicas=min_replicas,
+            max_replicas=max_replicas,
+            **kwargs,
+        )
+        say(
+            f"[step] mode={mode}: reached pool {row['final_pool']} "
+            f"(target {row['target_pool']}) in {row['time_to_target_s']!r}s, "
+            f"sheds_post={row['sheds_post']}, lost={row['lost']}"
+        )
+        rows.append(row)
+    return {
+        "base_rps": round(float(base_rps), 1),
+        "step_factor": float(step_factor),
+        "duration_s": round(float(duration), 2),
+        "size": size,
+        "workers_per_replica": workers,
+        "queue_capacity": queue_capacity,
+        "min_replicas": min_replicas,
+        "max_replicas": max_replicas,
+        "capacity_model_source": getattr(capacity_model, "source", None),
+        "rows": rows,
+    }
+
+
 def run_serving_benchmark(
     sizes: Sequence[int] = (128, 256),
     *,

@@ -21,7 +21,12 @@ Known kinds (the union across owners): ``spawn``, ``connect``,
 :class:`~repro.serving.autoscale.PoolController`: ``scale_up``,
 ``scale_down``, ``scale_blocked`` (a sustained breach the controller
 declined to act on — cooldown or min/max bound — so capacity incidents
-are reconstructable from the log alone).
+are reconstructable from the log alone).  When a capacity model drives
+the controller, every scale event additionally carries ``prediction``
+(the feed-forward pool target from the measured knees), ``reconciled``
+(the target after reconciling prediction with the reactive signals),
+and an ``arrival_rps`` signal (the admitted-arrival-rate EWMA the
+prediction was computed from).
 """
 
 from __future__ import annotations

@@ -117,6 +117,10 @@ class IngressQueue:
     clock:
         Injectable monotonic clock (tests pin drain-rate and deadline
         behaviour with a fake clock).
+    drain_window_seconds:
+        Rolling window over which the dequeue rate is estimated.  Claim
+        events older than this are expired before the rate is computed,
+        so an idle gap cannot stretch the span and collapse the estimate.
     """
 
     def __init__(
@@ -127,6 +131,7 @@ class IngressQueue:
         brownout_thresholds: Optional[Sequence[float]] = (0.85, 0.95),
         brownout_floors: Optional[Sequence[int]] = (-1, 0),
         clock: Callable[[], float] = time.monotonic,
+        drain_window_seconds: float = 30.0,
     ) -> None:
         if capacity < 1:
             raise ValueError("queue capacity must be >= 1")
@@ -143,6 +148,11 @@ class IngressQueue:
         self.brownout_thresholds = thresholds
         self.brownout_floors = floors
         self._clock = clock
+        if not (drain_window_seconds > 0):
+            raise ValueError(
+                f"drain_window_seconds must be > 0, got {drain_window_seconds}"
+            )
+        self.drain_window_seconds = float(drain_window_seconds)
         self._entries: List[SolveRequest] = []  # insertion order; scans sort by contract
         self._order: Dict[int, int] = {}        # id(request) -> insertion sequence
         self._seq = 0
@@ -207,13 +217,20 @@ class IngressQueue:
     def estimated_drain_seconds(self) -> Optional[float]:
         """Estimated seconds until the current backlog drains.
 
-        Based on the observed recent dequeue rate; ``None`` when the queue
-        has no claim history to estimate from (caller falls back to a
-        constant), ``0.0`` when the queue is empty.
+        Based on the dequeue rate observed inside the rolling
+        ``drain_window_seconds`` window; ``None`` when the queue has no
+        recent claim history to estimate from (caller falls back to a
+        constant), ``0.0`` when the queue is empty.  Events older than
+        the window are expired first — without that, an idle gap would
+        stretch the span back to the oldest recorded claim, collapse the
+        estimated rate, and peg Retry-After at its clamp.
         """
         now = self._clock()
+        cutoff = now - self.drain_window_seconds
         with self._lock:
             depth = len(self._entries)
+            while self._dequeues and self._dequeues[0][0] < cutoff:
+                self._dequeues.popleft()
             events = list(self._dequeues)
         if depth == 0:
             return 0.0

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import random
 import threading
 import time
@@ -81,25 +82,36 @@ RETRY_AFTER_SECONDS = {"queue_full": 1, "too_many_inflight": 1,
 RETRY_AFTER_MIN_SECONDS = 1
 RETRY_AFTER_MAX_SECONDS = 30
 
-#: Error codes whose Retry-After tracks queue drain time (overload), as
-#: opposed to lifecycle codes where a constant is the honest answer.
-_LOAD_RETRY_CODES = frozenset({"queue_full", "too_many_inflight"})
+#: Error codes whose Retry-After tracks the backlog drain estimate when
+#: one is available: overload rejections (queue full, inflight cap) and
+#: the draining lifecycle, where "come back once the backlog clears" is
+#: the honest answer.  Other lifecycle codes keep their constants.
+_DRAIN_RETRY_CODES = frozenset({"queue_full", "too_many_inflight", "shutting_down"})
+
+#: Backwards-compatible alias (the overload subset predates draining
+#: joining the estimate-backed codes).
+_LOAD_RETRY_CODES = _DRAIN_RETRY_CODES
 
 
 def retry_after_hint(code: str, drain_seconds: Optional[float] = None) -> Optional[int]:
     """Retry-After seconds to advertise for an error ``code``.
 
-    For load-related rejections (queue full, inflight cap) with a known
-    queue drain estimate, returns the estimate rounded up and clamped to
-    ``[RETRY_AFTER_MIN_SECONDS, RETRY_AFTER_MAX_SECONDS]``; otherwise the
-    static :data:`RETRY_AFTER_SECONDS` fallback (``None`` for codes that
-    should not carry the header at all).
+    For drain-tracking codes (queue full, inflight cap, draining) with a
+    known queue drain estimate, returns the estimate rounded up and
+    clamped to ``[RETRY_AFTER_MIN_SECONDS, RETRY_AFTER_MAX_SECONDS]``;
+    otherwise the static :data:`RETRY_AFTER_SECONDS` fallback (``None``
+    for codes that should not carry the header at all).  A ``nan`` or
+    negative estimate is rejected as unusable (falls back to the static
+    hint) rather than leaking into the header.
     """
-    if code not in _LOAD_RETRY_CODES or drain_seconds is None:
+    if code not in _DRAIN_RETRY_CODES or drain_seconds is None:
+        return RETRY_AFTER_SECONDS.get(code)
+    drain = float(drain_seconds)
+    if math.isnan(drain) or drain < 0:
         return RETRY_AFTER_SECONDS.get(code)
     return max(
         RETRY_AFTER_MIN_SECONDS,
-        min(RETRY_AFTER_MAX_SECONDS, int(-(-float(drain_seconds) // 1))),
+        math.ceil(min(RETRY_AFTER_MAX_SECONDS, drain)),
     )
 
 
@@ -430,9 +442,10 @@ class HttpIngress:
 
     def _drain_estimate(self, code: str) -> Optional[float]:
         """The admitting queue's estimated drain time, when the backend
-        exposes one and the error is load-related (429s advertise how long
-        the backlog actually takes to clear, not a constant)."""
-        if code not in _LOAD_RETRY_CODES:
+        exposes one and the code is drain-tracking (429s and draining 503s
+        advertise how long the backlog actually takes to clear, not a
+        constant)."""
+        if code not in _DRAIN_RETRY_CODES:
             return None
         estimate = getattr(self.backend, "estimated_drain_seconds", None)
         if not callable(estimate):
@@ -457,7 +470,11 @@ class HttpIngress:
         }
         if hasattr(self.backend, "replica_rows"):
             doc["replicas"] = self.backend.replica_rows()
-        return (200 if accepting else 503), doc, ({} if accepting else {"Retry-After": "5"})
+        if accepting:
+            return 200, doc, {}
+        retry_after = retry_after_hint("shutting_down", self._drain_estimate("shutting_down"))
+        headers = {} if retry_after is None else {"Retry-After": str(retry_after)}
+        return 503, doc, headers
 
     def _metrics(self, query: Dict[str, str]) -> Tuple[int, Any, Dict[str, str]]:
         snapshot = self.backend.metrics()

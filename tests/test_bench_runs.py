@@ -1,0 +1,364 @@
+"""Named-run registry and trend checker (``repro.bench.runs``).
+
+Covers the manifest/index lifecycle (record, overwrite, ordering), the
+trend comparator's regression semantics (tolerance ratios, wall-clock
+noise floor, improvements never flagged), and both CLI entry points:
+the in-run ``--run-name``/``--trend-check`` flow of ``python -m
+repro.bench`` and the standalone checker ``python -m repro.bench.runs
+check`` CI gates on (exit code 4 = regression).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.artifacts import build_artifact
+from repro.bench.cli import main as bench_main
+from repro.bench.runs import (
+    EXIT_TREND_REGRESSION,
+    INDEX_SCHEMA,
+    MANIFEST_SCHEMA,
+    RunRegistry,
+    check_trend,
+    git_state,
+    load_run,
+    main as runs_main,
+)
+
+
+def serving_artifact(*, throughput=500.0, p99=20.0, wall=2.0, extra_rows=()):
+    """A minimal serving-shaped artifact with the trend identity columns."""
+    rows = [
+        {
+            "n": 128,
+            "transport": "inproc",
+            "replica_mode": "threads",
+            "chaos_proxy": False,
+            "workers": 4,
+            "requests": 64,
+            "completed": 64,
+            "batches": 17,  # timing-dependent: must NOT join row identity
+            "throughput_rps": throughput,
+            "p99_ms": p99,
+            "time": 100,
+            "work": 200,
+            "charged_work": 150,
+        },
+        *extra_rows,
+    ]
+    return build_artifact(
+        experiment_id="serving",
+        title="Serving: micro-batched SFCP service throughput/latency",
+        cells=[
+            {
+                "config": {"experiment": "serving", "sizes": [128], "seed": 0},
+                "fingerprint": "cafebabe",
+                "rows": rows,
+                "wall_seconds": wall,
+            }
+        ],
+        tables=["(table)"],
+    )
+
+
+def record(registry, name, **kwargs):
+    return registry.record(
+        name, artifacts=[serving_artifact(**kwargs)], config={"experiments": ["serving"]}
+    )
+
+
+# ----------------------------------------------------------------------
+# registry lifecycle
+# ----------------------------------------------------------------------
+class TestRunRegistry:
+    def test_record_writes_manifest_artifacts_and_index(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        manifest = record(registry, "baseline")
+        run_dir = registry.run_dir("baseline")
+        assert os.path.exists(os.path.join(run_dir, "BENCH_SERVING.json"))
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["name"] == "baseline"
+        assert manifest["artifacts"] == ["BENCH_SERVING.json"]
+        assert set(manifest["git"]) == {"commit", "branch", "dirty"}
+        assert manifest["config"] == {"experiments": ["serving"]}
+        on_disk = json.load(open(registry.manifest_path("baseline")))
+        assert on_disk == manifest
+        index = registry.load_index()
+        assert index["schema"] == INDEX_SCHEMA
+        assert registry.run_names() == ["baseline"]
+
+    def test_rerunning_a_name_overwrites_and_moves_it_last(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        record(registry, "a", throughput=100.0)
+        record(registry, "b")
+        # stale artifact from the first recording of "a" must not survive
+        stale = os.path.join(registry.run_dir("a"), "LEFTOVER.json")
+        with open(stale, "w") as fh:
+            fh.write("{}")
+        record(registry, "a", throughput=900.0)
+        assert registry.run_names() == ["b", "a"]
+        assert not os.path.exists(stale)
+        run = load_run(registry.run_dir("a"))
+        row = run["artifacts"]["BENCH_SERVING.json"]["cells"][0]["rows"][0]
+        assert row["throughput_rps"] == 900.0
+
+    def test_latest_run_skips_the_candidate(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        record(registry, "old")
+        record(registry, "new")
+        assert registry.latest_run() == "new"
+        assert registry.latest_run(excluding="new") == "old"
+        assert RunRegistry(str(tmp_path / "empty")).latest_run() is None
+
+    def test_bad_run_names_are_rejected(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        for bad in ("", "../escape", "a/b", ".hidden", "sp ace"):
+            with pytest.raises(ValueError):
+                registry.run_dir(bad)
+
+    def test_finalize_requires_the_listed_artifacts(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        registry.prepare("ghost")
+        with pytest.raises(ValueError, match="missing artifacts"):
+            registry.finalize("ghost", config={}, artifacts=["BENCH_E1.json"])
+
+    def test_git_state_is_tolerant_outside_a_repo(self, tmp_path):
+        state = git_state(str(tmp_path))
+        assert state["commit"] == "unknown"
+        assert state["branch"] == "unknown"
+        # inside this repo it should resolve a real commit
+        here = git_state(os.path.dirname(os.path.abspath(__file__)))
+        assert here["commit"] != "unknown"
+        assert isinstance(here["dirty"], bool)
+
+
+# ----------------------------------------------------------------------
+# trend comparison
+# ----------------------------------------------------------------------
+class TestCheckTrend:
+    def load_pair(self, registry):
+        return (
+            load_run(registry.run_dir("candidate")),
+            load_run(registry.run_dir("baseline")),
+        )
+
+    def test_identical_runs_are_clean(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline")
+        record(registry, "candidate")
+        report = check_trend(*self.load_pair(registry))
+        assert report.ok
+        assert report.compared > 0
+        assert report.baseline == "baseline"
+        assert report.candidate == "candidate"
+
+    def test_p99_blowup_is_a_regression(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline", p99=20.0)
+        record(registry, "candidate", p99=200.0)
+        report = check_trend(*self.load_pair(registry), tolerance=0.5)
+        assert any("p99_ms" in r for r in report.regressions)
+
+    def test_throughput_collapse_is_a_regression(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline", throughput=500.0)
+        record(registry, "candidate", throughput=50.0)
+        report = check_trend(*self.load_pair(registry), tolerance=0.5)
+        assert any("throughput_rps" in r for r in report.regressions)
+
+    def test_improvements_and_in_tolerance_noise_are_not_flagged(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline", throughput=500.0, p99=20.0, wall=2.0)
+        # faster, lower-latency, and mild wall noise within the 50% band
+        record(registry, "candidate", throughput=900.0, p99=5.0, wall=2.6)
+        report = check_trend(*self.load_pair(registry), tolerance=0.5)
+        assert report.ok, report.regressions
+
+    def test_wall_clock_below_noise_floor_is_ignored(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        # 0.05s baseline cell: a 10x wall blowup is scheduler noise
+        record(registry, "baseline", wall=0.05)
+        record(registry, "candidate", wall=0.5)
+        report = check_trend(*self.load_pair(registry), tolerance=0.5)
+        assert not any("wall_seconds" in r for r in report.regressions)
+
+    def test_slow_cell_wall_regression_is_flagged(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline", wall=2.0)
+        record(registry, "candidate", wall=8.0)
+        report = check_trend(*self.load_pair(registry), tolerance=0.5)
+        assert any("wall_seconds" in r for r in report.regressions)
+
+    def test_tolerance_widens_the_band(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline", p99=20.0)
+        record(registry, "candidate", p99=45.0)  # 2.25x the baseline
+        tight = check_trend(*self.load_pair(registry), tolerance=0.5)
+        loose = check_trend(*self.load_pair(registry), tolerance=1.5)
+        assert not tight.ok
+        assert loose.ok
+
+    def test_rows_match_on_whitelist_not_volatile_columns(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline", p99=20.0)
+        registry2 = RunRegistry(registry.runs_dir)
+        # candidate has a different batch count (timing-dependent) —
+        # the rows must still pair up, and the regression must surface
+        doc = serving_artifact(p99=500.0)
+        doc["cells"][0]["rows"][0]["batches"] = 99
+        registry2.record("candidate", artifacts=[doc], config={})
+        report = check_trend(*self.load_pair(registry))
+        assert report.compared > 0
+        assert any("p99_ms" in r for r in report.regressions)
+
+    def test_negative_tolerance_rejected(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline")
+        record(registry, "candidate")
+        with pytest.raises(ValueError):
+            check_trend(*self.load_pair(registry), tolerance=-0.1)
+
+
+# ----------------------------------------------------------------------
+# standalone checker CLI (the CI gate)
+# ----------------------------------------------------------------------
+class TestRunsCheckerCli:
+    def test_first_run_passes_with_no_baseline(self, tmp_path, capsys):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "only")
+        rc = runs_main(["check", "--runs-dir", str(tmp_path), "--candidate", "only"])
+        assert rc == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_clean_candidate_exits_zero(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline")
+        record(registry, "candidate")
+        rc = runs_main(
+            ["check", "--runs-dir", str(tmp_path), "--candidate", "candidate"]
+        )
+        assert rc == 0
+
+    def test_injected_regression_exits_four(self, tmp_path, capsys):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline")
+        record(registry, "candidate")
+        # tamper a *copy* of the candidate, exactly like the CI negative test
+        tampered_dir = str(tmp_path / "tampered")
+        import shutil
+
+        shutil.copytree(registry.run_dir("candidate"), tampered_dir)
+        artifact_path = os.path.join(tampered_dir, "BENCH_SERVING.json")
+        doc = json.load(open(artifact_path))
+        for cell in doc["cells"]:
+            for row in cell["rows"]:
+                row["p99_ms"] = row["p99_ms"] * 10
+                row["throughput_rps"] = row["throughput_rps"] / 10
+        with open(artifact_path, "w") as fh:
+            json.dump(doc, fh)
+        rc = runs_main(
+            [
+                "check",
+                "--runs-dir", str(tmp_path),
+                "--candidate", "candidate",
+                "--candidate-dir", tampered_dir,
+                "--tolerance", "1.5",
+            ]
+        )
+        assert rc == EXIT_TREND_REGRESSION
+        err = capsys.readouterr().err
+        assert "p99_ms" in err and "throughput_rps" in err
+
+    def test_explicit_baseline_and_missing_candidate(self, tmp_path, capsys):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline")
+        record(registry, "middle", p99=1000.0)
+        record(registry, "candidate")
+        # vs the regressed middle run the candidate is an improvement
+        rc = runs_main(
+            [
+                "check",
+                "--runs-dir", str(tmp_path),
+                "--candidate", "candidate",
+                "--baseline", "baseline",
+            ]
+        )
+        assert rc == 0
+        rc = runs_main(["check", "--runs-dir", str(tmp_path), "--candidate", "nope"])
+        assert rc == 2
+
+    def test_disjoint_rows_are_an_error_not_a_pass(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "baseline")
+        doc = serving_artifact()
+        for cell in doc["cells"]:
+            cell["fingerprint"] = "deadbeef"  # different config fingerprint
+            for row in cell["rows"]:
+                row["workers"] = 99  # identity key differs -> nothing matches
+        registry.record("candidate", artifacts=[doc], config={})
+        rc = runs_main(
+            ["check", "--runs-dir", str(tmp_path), "--candidate", "candidate"]
+        )
+        assert rc == 2
+
+    def test_list_prints_history(self, tmp_path, capsys):
+        registry = RunRegistry(str(tmp_path))
+        record(registry, "one")
+        record(registry, "two")
+        assert runs_main(["list", "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.index("one") < out.index("two")
+
+
+# ----------------------------------------------------------------------
+# python -m repro.bench --run-name / --trend-check integration
+# ----------------------------------------------------------------------
+class TestBenchCliNamedRuns:
+    def run_named(self, tmp_path, name, extra=()):
+        return bench_main(
+            [
+                "--experiments", "e1",
+                "--sizes", "256",
+                "--run-name", name,
+                "--runs-dir", str(tmp_path / "runs"),
+                "--quiet",
+                *extra,
+            ]
+        )
+
+    def test_named_run_records_manifest_and_artifacts(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert self.run_named(tmp_path, "smoke") == 0
+        registry = RunRegistry(str(tmp_path / "runs"))
+        run = load_run(registry.run_dir("smoke"))
+        manifest = run["manifest"]
+        assert manifest["name"] == "smoke"
+        assert manifest["config"]["experiments"] == ["e1"]
+        assert manifest["config"]["sizes"] == [256]
+        assert "BENCH_E1.json" in run["artifacts"]
+        assert registry.run_names() == ["smoke"]
+        # artifacts belong to the run dir, not the default out dir
+        assert not os.path.exists(tmp_path / "BENCH_E1.json")
+
+    def test_trend_check_passes_across_two_honest_runs(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert self.run_named(tmp_path, "first") == 0
+        assert self.run_named(tmp_path, "second", extra=("--trend-check",)) == 0
+        registry = RunRegistry(str(tmp_path / "runs"))
+        assert registry.run_names() == ["first", "second"]
+
+    def test_trend_check_requires_run_name(self, capsys):
+        assert bench_main(["--experiments", "e1", "--trend-check", "--quiet"]) == 2
+        assert "--run-name" in capsys.readouterr().err
+
+    def test_dry_run_conflicts_with_run_name(self, tmp_path, capsys):
+        rc = self.run_named(tmp_path, "nope", extra=("--dry-run",))
+        assert rc == 2
+        assert "--dry-run" in capsys.readouterr().err
+
+    def test_bad_run_name_is_a_usage_error(self, tmp_path, capsys):
+        assert self.run_named(tmp_path, "../escape") == 2
+        assert "bad run name" in capsys.readouterr().err

@@ -361,10 +361,87 @@ def test_retry_after_hint_is_ceil_and_clamped():
     assert retry_after_hint("too_many_inflight", 1e6) == RETRY_AFTER_MAX_SECONDS
     # no estimate -> static fallback table
     assert retry_after_hint("queue_full", None) == RETRY_AFTER_SECONDS["queue_full"]
-    # lifecycle codes ignore the estimate entirely
-    assert retry_after_hint("shutting_down", 20.0) == RETRY_AFTER_SECONDS["shutting_down"]
+    # the draining lifecycle honours the estimate too (unified with /healthz)
+    assert retry_after_hint("shutting_down", 20.0) == 20
+    assert retry_after_hint("shutting_down", None) == RETRY_AFTER_SECONDS["shutting_down"]
     # codes with no fallback carry no header
     assert retry_after_hint("bad_request", 20.0) is None
+
+
+def test_retry_after_hint_rejects_nan_negative_and_infinite_estimates():
+    # nan must not propagate into the header: fall back to the static hint
+    assert retry_after_hint("queue_full", float("nan")) == RETRY_AFTER_SECONDS["queue_full"]
+    # a negative estimate is equally unusable
+    assert retry_after_hint("queue_full", -3.0) == RETRY_AFTER_SECONDS["queue_full"]
+    # +inf clamps to the max instead of overflowing ceil
+    assert retry_after_hint("queue_full", float("inf")) == RETRY_AFTER_MAX_SECONDS
+
+
+def test_drain_estimator_expires_stale_window_under_fake_clock():
+    """An idle gap must not stretch the rate window back to the oldest
+    claim (the old behaviour collapsed the rate and pegged Retry-After
+    at the 30 s clamp)."""
+    clock = FakeClock(start=50.0)
+    queue = IngressQueue(
+        64, clock=clock, brownout_thresholds=None, drain_window_seconds=10.0
+    )
+    for _ in range(10):
+        queue.put(_queued_request(), block=False)
+    for _ in range(3):
+        clock.advance(1.0)
+        queue.take(queue.head_key(timeout=0), 2)
+    assert queue.estimated_drain_seconds() == pytest.approx(4.0 / 3.0)
+
+    # a long idle gap expires the claim history: no honest estimate,
+    # instead of depth / (claimed / huge-span) = hours
+    clock.advance(600.0)
+    assert queue.estimated_drain_seconds() is None
+
+    # fresh claims rebuild the window from recent events only
+    queue.put(_queued_request(), block=False)
+    queue.put(_queued_request(), block=False)
+    for _ in range(2):
+        clock.advance(1.0)
+        queue.take(queue.head_key(timeout=0), 2)
+    # 2 left, 4 claimed over the 1 s spanned by the two fresh events -> 0.5 s
+    assert queue.estimated_drain_seconds() == pytest.approx(2.0 / 4.0)
+    queue.close()
+
+
+def test_healthz_draining_advertises_measured_drain_time():
+    """A draining /healthz routes Retry-After through retry_after_hint()
+    with the backend's drain estimate instead of a hardcoded constant."""
+
+    class DrainingBackend:
+        accepting = False
+        inflight = 2
+        queue_depth = 3
+
+        def __init__(self, estimate):
+            self._estimate = estimate
+
+        def estimated_drain_seconds(self):
+            return self._estimate
+
+    ingress = HttpIngress(DrainingBackend(12.2)).start_in_thread()
+    try:
+        with HttpServiceClient(ingress.url) as client:
+            status, headers, body = client.request("GET", "/healthz", None)
+            assert status == 503
+            assert body["status"] == "draining"
+            assert headers.get("retry-after") == "13"  # ceil(12.2)
+    finally:
+        ingress.close()
+
+    # no estimate available -> the static shutting_down fallback survives
+    ingress = HttpIngress(DrainingBackend(None)).start_in_thread()
+    try:
+        with HttpServiceClient(ingress.url) as client:
+            status, headers, _ = client.request("GET", "/healthz", None)
+            assert status == 503
+            assert headers.get("retry-after") == str(RETRY_AFTER_SECONDS["shutting_down"])
+    finally:
+        ingress.close()
 
 
 def test_http_429_advertises_measured_drain_time(monkeypatch):

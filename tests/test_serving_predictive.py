@@ -1,0 +1,360 @@
+"""Feed-forward predictive autoscaling: CapacityModel + controller suite.
+
+The predictive path must be provable without wall-clock time: every test
+drives :class:`~repro.serving.autoscale.PoolController` with a fake
+clock, manual ticks, and a scripted pool whose cumulative ``submitted``
+counter the arrival-rate EWMA differentiates.  The three contracts under
+test are the ones the reconciliation rule promises:
+
+* **pre-scale before any breach** — a rising arrival rate grows the pool
+  while every reactive signal is still quiet;
+* **reactive overrides up** — reactive pressure can push the pool past
+  the prediction;
+* **never below the prediction** — idle signals cannot shrink the pool
+  under the predicted floor, and without a model the controller is
+  exactly the PR 9 reactive machine (graceful fallback).
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.serving import (
+    AutoscalingPolicy,
+    CapacityModel,
+    EventRecorder,
+    PoolController,
+)
+from repro.serving.metrics import ServiceMetrics
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = float(start)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += float(seconds)
+
+
+class ScriptedPool:
+    """A pool whose signals — including the cumulative admitted counter
+    the arrival EWMA samples — are set directly by the test."""
+
+    def __init__(self, active=1, queue_depth=0, inflight=0, submitted_total=0):
+        self.active_replicas = active
+        self.queue_depth = queue_depth
+        self.inflight = inflight
+        self.submitted_total = submitted_total
+        self.ups = 0
+        self.downs = 0
+        self.noted = []
+        self.refuse_up = False
+        self._next_id = 100
+
+    def scale_up(self):
+        if self.refuse_up:
+            return None
+        self.ups += 1
+        self.active_replicas += 1
+        self._next_id += 1
+        return self._next_id
+
+    def scale_down(self):
+        if self.active_replicas <= 1:
+            return None
+        self.downs += 1
+        self.active_replicas -= 1
+        return self._next_id
+
+    def note_scale_decision(self, decision):
+        self.noted.append(decision)
+
+
+#: knees shaped like the committed model: pool 1 handles 200 rps, bigger
+#: pools are only worth it beyond that.
+MODEL = CapacityModel(knees=((1, 200.0), (2, 300.0), (4, 600.0)))
+
+
+def make_controller(pool, clock, model=MODEL, **policy_kwargs):
+    policy_kwargs.setdefault("hysteresis_ticks", 3)
+    policy_kwargs.setdefault("cooldown_seconds", 5.0)
+    policy_kwargs.setdefault("max_replicas", 8)
+    policy = AutoscalingPolicy(**policy_kwargs)
+    recorder = EventRecorder()
+    controller = PoolController(
+        pool, policy, capacity_model=model, recorder=recorder, clock=clock
+    )
+    return controller, recorder
+
+
+def feed(pool, clock, controller, rate, seconds=1.0):
+    """Advance one tick with ``rate`` admitted arrivals per second."""
+    clock.advance(seconds)
+    pool.submitted_total += int(rate * seconds)
+    return controller.tick()
+
+
+# ----------------------------------------------------------------------
+# CapacityModel
+# ----------------------------------------------------------------------
+def test_capacity_model_parses_document_and_derives_p99_at_knee():
+    document = {
+        "capacity_model": {
+            "pools": [
+                {"replicas": 1, "knee_rps": 200.0, "lost": 0},
+                {"replicas": 2, "knee_rps": None, "lost": 0},
+                {"replicas": 4, "knee_rps": 100.0, "lost": 0},
+            ],
+            "cells": [
+                {"replicas": 1, "offered_rps": 200.0, "p99_ms": 123.4},
+                {"replicas": 4, "offered_rps": 100.0, "p99_ms": 56.7},
+            ],
+        }
+    }
+    model = CapacityModel.from_document(document, source="test")
+    assert model.knees == ((1, 200.0), (4, 100.0))  # knee-less pool omitted
+    assert model.p99_at_knee_ms == {1: 123.4, 4: 56.7}
+    assert model.knee_for_pool(1) == 200.0
+    assert model.knee_for_pool(2) is None
+    assert model.max_known_pool == 4
+
+
+def test_capacity_model_pool_for_rate_smallest_covering_pool():
+    # headroom 1.0: pick the smallest pool whose knee covers the rate
+    assert MODEL.pool_for_rate(150.0, headroom=1.0) == 1
+    assert MODEL.pool_for_rate(250.0, headroom=1.0) == 2
+    assert MODEL.pool_for_rate(500.0, headroom=1.0) == 4
+    # headroom scales the requirement: 180 rps at 0.8 headroom needs a
+    # 225-rps knee, which pool 1 (200) cannot give
+    assert MODEL.pool_for_rate(180.0, headroom=0.8) == 2
+    # beyond every measured knee: the largest measured pool, best effort
+    assert MODEL.pool_for_rate(10_000.0, headroom=1.0) == 4
+    # zero / idle offered rate: the smallest measured pool
+    assert MODEL.pool_for_rate(0.0) == 1
+
+
+def test_capacity_model_rejects_empty_and_bad_headroom():
+    with pytest.raises(ValueError):
+        CapacityModel(knees=())
+    with pytest.raises(ValueError):
+        CapacityModel.from_document({"no": "model"})
+    with pytest.raises(ValueError):
+        MODEL.pool_for_rate(100.0, headroom=0.0)
+    with pytest.raises(ValueError):
+        MODEL.pool_for_rate(100.0, headroom=1.5)
+
+
+def test_capacity_model_loads_committed_artifact(tmp_path):
+    document = {
+        "schema": "repro.serving.metrics.capacity",
+        "capacity_model": {
+            "pools": [{"replicas": 1, "knee_rps": 200.0}],
+            "cells": [],
+        },
+    }
+    path = tmp_path / "BENCH_SERVING.json"
+    path.write_text(json.dumps(document))
+    model = CapacityModel.load(str(path))
+    assert model.knees == ((1, 200.0),)
+    assert model.source == str(path)
+
+
+def test_capacity_model_loads_repo_committed_bench_serving():
+    """The committed BENCH_SERVING.json is a loadable capacity model."""
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    model = CapacityModel.load(os.path.join(repo_root, "BENCH_SERVING.json"))
+    assert model.knees  # at least one measured knee
+    assert all(replicas >= 1 and knee > 0 for replicas, knee in model.knees)
+
+
+# ----------------------------------------------------------------------
+# feed-forward pre-scaling (fake clock)
+# ----------------------------------------------------------------------
+def test_feed_forward_prescales_before_any_breach():
+    """A rising arrival rate grows the pool while every reactive signal
+    is still quiet — no queue, no inflight, no p99 breach ever occurs."""
+    clock = FakeClock()
+    pool = ScriptedPool(active=1)
+    controller, recorder = make_controller(pool, clock)
+
+    # warm the EWMA below the knee: no prediction pressure
+    for _ in range(3):
+        decision = feed(pool, clock, controller, rate=100)
+        assert decision.direction == "hold"
+    assert pool.ups == 0
+
+    # the offered rate quadruples; reactive signals stay idle (the queue
+    # never backs up in this script) but the model demands pool 4
+    decisions = [feed(pool, clock, controller, rate=400) for _ in range(6)]
+    assert pool.ups >= 1
+    first_up = next(d for d in decisions if d.direction == "up")
+    assert first_up.reason.startswith("feed-forward")
+    assert first_up.prediction is not None and first_up.prediction > 1
+    # reactive never breached: queue/inflight stayed zero throughout
+    assert all(d.signals.queue_depth == 0 and d.signals.inflight == 0
+               for d in decisions)
+    # EWMA converges to the stepped rate and the pool reaches the target
+    assert pool.active_replicas == 4
+    assert controller.last_decision.prediction == 4
+
+    # the scale_up events carry prediction/reconciled fields
+    ups = [e for e in recorder.events() if e["event"] == "scale_up"]
+    assert ups and all("prediction" in e and "reconciled" in e for e in ups)
+    assert ups and all("arrival_rps" in e for e in ups)
+
+
+def test_feed_forward_ignores_cooldown_between_steps():
+    """Consecutive predictive ups are not throttled by cooldown — the
+    prediction is exogenous, so the pool marches to the target one tick
+    per step even with a long cooldown configured."""
+    clock = FakeClock()
+    pool = ScriptedPool(active=1)
+    controller, _ = make_controller(pool, clock, cooldown_seconds=60.0)
+    feed(pool, clock, controller, rate=500)
+    for _ in range(5):
+        feed(pool, clock, controller, rate=500)
+    assert pool.active_replicas == 4
+
+
+def test_reactive_overrides_up_past_prediction():
+    """Reactive pressure scales the pool *above* the predicted target:
+    the prediction is a floor, not a ceiling."""
+    clock = FakeClock()
+    pool = ScriptedPool(active=1)
+    controller, recorder = make_controller(
+        pool, clock, hysteresis_ticks=2, cooldown_seconds=0.0
+    )
+    # settle at the predicted pool for a modest rate (pool 1)
+    for _ in range(3):
+        assert feed(pool, clock, controller, rate=100).direction == "hold"
+    assert pool.active_replicas == 1
+
+    # same arrival rate, but the queue explodes (e.g. requests got more
+    # expensive than the model's calibration workload)
+    pool.queue_depth = 40
+    d1 = feed(pool, clock, controller, rate=100)
+    d2 = feed(pool, clock, controller, rate=100)
+    assert d1.direction == "hold"  # hysteresis tick 1
+    assert d2.direction == "up"    # reactive up past the prediction
+    assert d2.prediction == 1
+    assert d2.reconciled == 2      # max(prediction, active + 1)
+    assert pool.active_replicas == 2
+
+
+def test_scale_down_never_goes_below_prediction():
+    """Idle reactive signals cannot shrink the pool below the predicted
+    floor — resting at the prediction holds quietly, like min_replicas."""
+    clock = FakeClock()
+    pool = ScriptedPool(active=1)
+    controller, recorder = make_controller(
+        pool, clock, hysteresis_ticks=2, cooldown_seconds=0.0
+    )
+    # march up to the predicted pool 4 for a heavy rate
+    for _ in range(6):
+        feed(pool, clock, controller, rate=500)
+    assert pool.active_replicas == 4
+
+    # arrival stays heavy, pool fully idle otherwise: the prediction pins
+    # the floor and the controller holds quietly (no events, no downs)
+    before = len(recorder.events())
+    for _ in range(6):
+        decision = feed(pool, clock, controller, rate=500)
+        assert decision.direction == "hold"
+        assert decision.prediction == 4
+    assert pool.downs == 0
+    assert len(recorder.events()) == before
+
+    # once the measured arrival rate falls, the floor falls with it and
+    # ordinary reactive shrink takes over (hysteresis + cooldown intact)
+    for _ in range(12):
+        feed(pool, clock, controller, rate=50)
+    assert pool.active_replicas == 1
+    downs = [e for e in recorder.events() if e["event"] == "scale_down"]
+    assert downs and all("prediction" in e and "reconciled" in e for e in downs)
+
+
+def test_refused_predictive_up_backs_off_for_cooldown():
+    """A pool that refuses predictive growth is not hammered every tick:
+    one blocked event, then a cooldown's worth of quiet."""
+    clock = FakeClock()
+    pool = ScriptedPool(active=1)
+    pool.refuse_up = True
+    controller, recorder = make_controller(pool, clock, cooldown_seconds=5.0)
+    feed(pool, clock, controller, rate=500)  # warm EWMA
+    d = feed(pool, clock, controller, rate=500)
+    assert d.direction == "blocked" and "refused" in d.reason
+    blocked_events = [e for e in recorder.events() if e["event"] == "scale_blocked"]
+    assert len(blocked_events) == 1
+    # within cooldown: predictive path stays quiet
+    for _ in range(4):
+        assert feed(pool, clock, controller, rate=500).direction == "hold"
+    assert len([e for e in recorder.events() if e["event"] == "scale_blocked"]) == 1
+    # after cooldown it tries again
+    feed(pool, clock, controller, rate=500, seconds=5.0)
+    assert len([e for e in recorder.events() if e["event"] == "scale_blocked"]) == 2
+
+
+def test_graceful_fallback_without_capacity_model():
+    """No committed model -> the controller is exactly the reactive
+    machine: no predictions, no arrival sampling, PR 9 semantics."""
+    clock = FakeClock()
+    pool = ScriptedPool(active=1)
+    controller, recorder = make_controller(
+        pool, clock, model=None, hysteresis_ticks=2, cooldown_seconds=0.0
+    )
+    # arrival counter races ahead; without a model nothing reads it
+    for _ in range(5):
+        decision = feed(pool, clock, controller, rate=1000)
+        assert decision.direction == "hold"
+        assert decision.prediction is None
+        assert decision.reconciled is None
+        assert decision.signals.arrival_rps is None
+    assert pool.ups == 0
+    assert pool.noted == []  # reactive holds stay invisible in /metrics
+
+    # reactive pressure still scales, with no prediction fields on events
+    pool.queue_depth = 40
+    feed(pool, clock, controller, rate=1000)
+    decision = feed(pool, clock, controller, rate=1000)
+    assert decision.direction == "up"
+    ups = [e for e in recorder.events() if e["event"] == "scale_up"]
+    assert ups and all("prediction" not in e for e in ups)
+
+
+def test_arrival_ewma_tracks_admitted_rate():
+    """The EWMA converges on a steady rate and lags a step change."""
+    clock = FakeClock()
+    pool = ScriptedPool(active=1)
+    controller, _ = make_controller(pool, clock, arrival_ewma_alpha=0.5)
+    for _ in range(8):
+        feed(pool, clock, controller, rate=100)
+    steady = controller.last_decision.signals.arrival_rps
+    assert steady == pytest.approx(100.0, rel=0.05)
+    # one tick after the step the EWMA is between the old and new rates
+    decision = feed(pool, clock, controller, rate=400)
+    assert 100.0 < decision.signals.arrival_rps < 400.0
+
+
+def test_predictive_holds_refresh_metrics_gauges():
+    """Predictive holds mirror into note_scale_decision so the
+    /metrics prediction + arrival gauges stay fresh between actions."""
+    clock = FakeClock()
+    pool = ScriptedPool(active=1)
+    controller, _ = make_controller(pool, clock)
+    for _ in range(4):
+        feed(pool, clock, controller, rate=100)
+    assert pool.noted  # holds mirrored (prediction present)
+    last = pool.noted[-1]
+    assert last["direction"] == "hold"
+    assert last["prediction"] == 1
+    assert last["signals"]["arrival_rps"] == pytest.approx(100.0, rel=0.2)
+
+    metrics = dataclasses.replace(ServiceMetrics.empty(), last_scale=last)
+    text = metrics.as_prometheus()
+    assert "repro_serving_predicted_pool 1" in text
+    assert "repro_serving_arrival_rate" in text
